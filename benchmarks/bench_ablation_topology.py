@@ -1,0 +1,75 @@
+"""Ablation: what Baldur's topology choices buy (Sec. IV design points).
+
+Compares drop rates under the adversarial transpose permutation (one-shot
+worst case) across three substrates at the same multiplicity:
+
+* randomized multi-butterfly (Baldur: expansion property [14], [19]);
+* structured multi-butterfly (same topology, deterministic wiring);
+* omega network (single path per source/destination pair [42]).
+
+The paper's claim: randomization makes Baldur immune to worst-case
+permutations; deterministic multi-stage wirings are not.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.core import BaldurNetwork
+from repro.core.drop_model import _dst_transpose, one_shot_drop_rate
+from repro.topology import BenesTopology, MultiButterflyTopology, OmegaTopology
+
+N_NODES = 1024
+MULTIPLICITY = 2
+
+
+def _one_shot_on_topology(topology) -> float:
+    """One-shot transpose drop rate through the detailed simulator."""
+    net = BaldurNetwork(
+        N_NODES,
+        multiplicity=MULTIPLICITY,
+        enable_retransmission=False,
+        topology=topology,
+    )
+    dst = _dst_transpose(N_NODES, np.random.default_rng(0))
+    for src in range(N_NODES):
+        if dst[src] != src:
+            net.submit(src, int(dst[src]), time=0.0)
+    stats = net.run()
+    return stats.drop_rate
+
+
+def test_ablation_randomized_wiring(benchmark):
+    randomized = benchmark.pedantic(
+        one_shot_drop_rate,
+        args=(N_NODES, MULTIPLICITY, "transpose"),
+        kwargs=dict(trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    structured = _one_shot_on_topology(
+        MultiButterflyTopology(N_NODES, MULTIPLICITY, randomize=False)
+    )
+    omega = _one_shot_on_topology(
+        OmegaTopology(N_NODES, MULTIPLICITY)
+    )
+    benes = _one_shot_on_topology(
+        BenesTopology(N_NODES, MULTIPLICITY, seed=0)
+    )
+    rows = [
+        ["randomized multi-butterfly (Baldur)", 100 * randomized],
+        ["structured multi-butterfly", 100 * structured],
+        ["omega (single-path)", 100 * omega],
+        ["benes (random scatter half)", 100 * benes],
+    ]
+    emit(
+        f"Ablation -- worst-case transpose drop rate, {N_NODES} nodes, "
+        f"m={MULTIPLICITY}",
+        format_table(["wiring", "drop_%"], rows),
+    )
+    # Randomization must not lose to the deterministic wirings, the
+    # single-path omega must be the worst, and the Benes scatter half must
+    # recover most of the randomization benefit (Sec. IV / [43]).
+    assert randomized <= structured + 0.05
+    assert omega >= randomized
+    assert benes <= omega

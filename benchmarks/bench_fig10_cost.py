@@ -1,0 +1,46 @@
+"""Fig. 10: Baldur deployment cost per server node vs. scale.
+
+Paper reference: 523 USD per node at the 1K-2K scale (vs 1,992 USD for a
+2,560-node fat-tree); cost grows only modestly with scale and is
+dominated by the optical interposers.
+"""
+
+from conftest import emit
+
+from repro import constants as C
+from repro.analysis.tables import format_table
+from repro.cost.model import baldur_cost
+
+SCALES = (1024, 4096, 16384, 65536, 262144, 1048576)
+
+
+def test_fig10_cost_per_node(benchmark):
+    breakdowns = [baldur_cost(n) for n in SCALES]
+    benchmark(baldur_cost, 1024)
+    rows = [
+        [
+            f"{b.n_nodes:,}",
+            b.interposers,
+            b.fibers,
+            b.faus,
+            b.rfecs,
+            b.transceivers,
+            b.total,
+            100 * b.interposer_fraction,
+        ]
+        for b in breakdowns
+    ]
+    emit(
+        "Fig. 10 -- Baldur cost per node (USD); paper: 523 @1K, fat-tree "
+        f"reference {C.FATTREE_COST_PER_NODE_USD:.0f}, OCS "
+        f"{C.OCS_COST_PER_NODE_USD:.0f}",
+        format_table(
+            ["scale", "interposer", "fiber", "fau", "rfec", "xcvr",
+             "total", "interposer_%"],
+            rows,
+        ),
+    )
+    assert abs(breakdowns[0].total - C.BALDUR_COST_PER_NODE_1K_USD) < 30
+    assert all(
+        b.total < C.FATTREE_COST_PER_NODE_USD for b in breakdowns
+    )

@@ -1,0 +1,37 @@
+"""Fig. 2c: the eye diagram of a TL inverter operating at 60 Gbps.
+
+Paper reference: 'sufficient eye opening that indicates good signal
+integrity and reliable operation' at the gate's native 60 Gbps rate.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.tl.eye import simulate_eye
+
+
+def test_fig2c_eye_diagram(benchmark):
+    eye = benchmark.pedantic(
+        simulate_eye,
+        kwargs=dict(data_rate_gbps=60.0, n_bits=256, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    stressed = simulate_eye(data_rate_gbps=120.0, n_bits=256, seed=0)
+    rows = [
+        ["60 Gbps (Fig. 2c)", eye.vertical_opening,
+         eye.horizontal_opening],
+        ["120 Gbps (stress)", stressed.vertical_opening,
+         stressed.horizontal_opening],
+    ]
+    emit(
+        "Fig. 2c -- TL inverter eye diagram at 60 Gbps",
+        eye.render(width=64, height=14)
+        + "\n\n"
+        + format_table(
+            ["rate", "vertical opening", "horizontal opening"], rows
+        ),
+    )
+    assert eye.vertical_opening > 0.5
+    assert eye.horizontal_opening > 0.4
+    assert stressed.horizontal_opening <= eye.horizontal_opening

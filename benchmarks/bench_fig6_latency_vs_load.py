@@ -1,0 +1,70 @@
+"""Fig. 6: average and tail packet latency vs. input load.
+
+Paper reference (1,024 nodes, 10,000 pkts/node): Baldur has the lowest
+average latency for loads <= 0.7 -- 1.9-6.3X vs fat-tree, 1000-3000X vs
+dragonfly (saturated), 2.2-4.3X vs eMB at load 0.7 -- and runs within
+1.7-3.4X of the ideal network.  Both multi-butterfly networks saturate at
+higher loads than dragonfly/fat-tree.
+
+Benches run at a reduced scale (shape-preserving); set REPRO_BENCH_NODES /
+REPRO_BENCH_PACKETS for fuller runs.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import figure6
+from repro.analysis.tables import format_latency_grid
+
+PATTERNS = (
+    "random_permutation",
+    "transpose",
+    "bisection",
+    "group_permutation",
+)
+LOADS = (0.3, 0.7, 0.9)
+
+
+def test_fig6_latency_vs_load(benchmark, bench_nodes, bench_packets):
+    results = benchmark.pedantic(
+        figure6,
+        kwargs=dict(
+            n_nodes=bench_nodes,
+            loads=LOADS,
+            patterns=PATTERNS,
+            packets_per_node=bench_packets,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for pattern in PATTERNS:
+        blocks.append(
+            format_latency_grid(
+                results[pattern],
+                metric="average_latency",
+                title=f"[{pattern}] average latency (ns)",
+            )
+        )
+        blocks.append(
+            format_latency_grid(
+                results[pattern],
+                metric="tail_latency",
+                title=f"[{pattern}] p99 latency (ns)",
+            )
+        )
+    emit(
+        f"Fig. 6 -- latency vs load ({bench_nodes} nodes, "
+        f"{bench_packets} pkts/node)",
+        "\n\n".join(blocks),
+    )
+
+    # Shape assertions at the paper's headline load (0.7).
+    for pattern in PATTERNS:
+        at_07 = {
+            name: stats[0.7].average_latency
+            for name, stats in results[pattern].items()
+        }
+        assert at_07["baldur"] < at_07["multibutterfly"], pattern
+        assert at_07["baldur"] < at_07["fattree"], pattern
+        assert at_07["baldur"] < at_07["dragonfly"], pattern
+        assert at_07["ideal"] < at_07["baldur"], pattern

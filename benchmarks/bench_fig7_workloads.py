@@ -1,0 +1,57 @@
+"""Fig. 7: normalized latency for hotspot, ping-pong, and HPC workloads.
+
+Paper reference (1,024 nodes): Baldur achieves the best average/tail
+latency for all synthetic patterns (geomean 3.4X-4.1X better average) and
+all four HPC workloads (geomean 2.6X-9.1X better average); in FB,
+dragonfly/fat-tree are 23.5X/46.1X worse than Baldur.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import NETWORK_NAMES, figure7
+from repro.analysis.tables import format_table
+from repro.netsim.stats import geomean
+
+WORKLOADS = (
+    "hotspot", "ping_pong1", "ping_pong2",
+    "AMG", "CrystalRouter", "MultiGrid", "FB",
+)
+
+
+def test_fig7_workloads(benchmark, bench_nodes, bench_packets):
+    results = benchmark.pedantic(
+        figure7,
+        kwargs=dict(
+            n_nodes=bench_nodes,
+            packets_per_node=bench_packets,
+            ping_pong_rounds=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    ratios = {name: [] for name in NETWORK_NAMES if name != "baldur"}
+    for workload in WORKLOADS:
+        per_net = results[workload]
+        baldur = per_net["baldur"].average_latency
+        row = [workload] + [
+            per_net[name].average_latency / baldur for name in NETWORK_NAMES
+        ]
+        rows.append(row)
+        for name in ratios:
+            ratios[name].append(per_net[name].average_latency / baldur)
+    rows.append(
+        ["geomean"]
+        + [
+            geomean(ratios[name]) if name != "baldur" else 1.0
+            for name in NETWORK_NAMES
+        ]
+    )
+    emit(
+        f"Fig. 7 -- average latency normalized to Baldur "
+        f"({bench_nodes} nodes; paper geomeans 2.6X-9.1X)",
+        format_table(["workload"] + list(NETWORK_NAMES), rows),
+    )
+    # Baldur beats every electrical network on geomean.
+    for name in ("multibutterfly", "dragonfly", "fattree"):
+        assert geomean(ratios[name]) > 1.0, name

@@ -1,0 +1,40 @@
+"""Fig. 8: power per server node vs. network scale.
+
+Paper reference: Baldur's per-node power grows only 1.7X from 1K to 1M
+(vs 7.8X dragonfly, 9.0X fat-tree, 2.0X eMB); Baldur is 3.2X-26.4X more
+power-efficient at 1K and 14.6X-31.0X at 1M.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.power.network_power import FIG8_SCALES, power_scaling_sweep
+
+
+def test_fig8_power_scaling(benchmark):
+    sweep = benchmark(power_scaling_sweep, list(FIG8_SCALES))
+    networks = list(sweep)
+    rows = []
+    for i, scale in enumerate(FIG8_SCALES):
+        rows.append(
+            [f"{scale:,}"] + [sweep[name][i].total for name in networks]
+        )
+    growth = [
+        sweep[name][-1].total / sweep[name][0].total for name in networks
+    ]
+    paper_growth = {"baldur": 1.7, "multibutterfly": 2.0,
+                    "fattree": 9.0, "dragonfly": 7.8}
+    rows.append(["growth 1K->1M"] + growth)
+    rows.append(
+        ["paper growth"] + [paper_growth[name] for name in networks]
+    )
+    emit(
+        "Fig. 8 -- power per server node (W) vs. scale",
+        format_table(["scale"] + networks, rows),
+    )
+    baldur = sweep["baldur"]
+    for name in networks:
+        if name != "baldur":
+            for i in range(len(FIG8_SCALES)):
+                assert sweep[name][i].total > baldur[i].total
+    assert growth[networks.index("baldur")] < 2.0

@@ -1,0 +1,35 @@
+"""Fig. 9: sensitivity of the 1M-scale power comparison to switch power.
+
+Paper reference (pessimistic case: electrical x0.5, optical x2): Baldur
+still consumes 5.1X, 8.2X, and 14.7X less power than dragonfly, fat-tree,
+and eMB respectively.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.power.sensitivity import SENSITIVITY_CASES, sensitivity_ratios
+
+PAPER_PESSIMISTIC = {"dragonfly": 5.1, "fattree": 8.2, "multibutterfly": 14.7}
+
+
+def test_fig9_sensitivity(benchmark):
+    results = {
+        case: sensitivity_ratios(2**20, case) for case in SENSITIVITY_CASES
+    }
+    benchmark(sensitivity_ratios, 2**20, "pessimistic")
+    networks = ("dragonfly", "fattree", "multibutterfly")
+    rows = [
+        [case] + [results[case][n] for n in networks]
+        for case in SENSITIVITY_CASES
+    ]
+    rows.append(
+        ["paper pessimistic"] + [PAPER_PESSIMISTIC[n] for n in networks]
+    )
+    emit(
+        "Fig. 9 -- Baldur power advantage under switch-power scaling "
+        "(1M-1.4M scale)",
+        format_table(["case"] + list(networks), rows),
+    )
+    for network in networks:
+        assert results["pessimistic"][network] > 3.0

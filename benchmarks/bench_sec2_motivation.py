@@ -1,0 +1,33 @@
+"""Sec. II-A: the motivation numbers for existing networks.
+
+Paper reference: a radix-2 electrical multi-butterfly (m=4) consumes
+223.5 W per node at 1,024 nodes -- 6X more than fat-tree -- with 41.7% of
+the power in O-E/E-O conversions and SerDes; a 128K-node fat-tree from
+80-radix switches consumes 6.4X more power per node than the 1,024-node
+radix-16 tree.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.power.network_power import fattree_power, multibutterfly_power
+
+
+def test_sec2_motivation_numbers(benchmark):
+    emb = benchmark(multibutterfly_power, 1024)
+    ft_1k = fattree_power(1024)
+    ft_128k = fattree_power(128_000)
+    rows = [
+        ["eMB W/node @1K", 223.5, emb.total],
+        ["eMB O-E/E-O+SerDes %", 41.7, 100 * emb.oeo_serdes_fraction],
+        ["eMB / fat-tree @1K", 6.0, emb.total / ft_1k.total],
+        ["fat-tree 128K/1K growth", 6.4, ft_128k.total / ft_1k.total],
+        ["fat-tree radix @128K", 80, ft_128k.detail["radix"]],
+    ]
+    emit(
+        "Sec. II-A -- motivation numbers (paper vs measured)",
+        format_table(["metric", "paper", "measured"], rows),
+    )
+    assert abs(emb.total - 223.5) / 223.5 < 0.05
+    assert abs(100 * emb.oeo_serdes_fraction - 41.7) < 3.0
+    assert ft_128k.detail["radix"] == 80

@@ -1,0 +1,44 @@
+"""Sec. IV-B: length-based encoding bandwidth overhead.
+
+Paper reference: 0.34% overhead for 8 routing bits + 512 B payload vs.
+8b/10b.  Our accounting brackets that figure (0.27% without the 6T end
+gap, 0.39% with it).
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.tl.encoding import (
+    decode_packet,
+    encode_packet,
+    length_encoding_overhead,
+)
+
+
+def test_sec4b_encoding_overhead(benchmark):
+    overhead = benchmark(length_encoding_overhead, 8, 512)
+    rows = [
+        ["8 bits + 512 B, with end gap",
+         100 * length_encoding_overhead(8, 512, include_end_gap=True)],
+        ["8 bits + 512 B, no end gap",
+         100 * length_encoding_overhead(8, 512, include_end_gap=False)],
+        ["paper (Sec. IV-B)", 0.34],
+        ["20 bits + 512 B (1M-node header)",
+         100 * length_encoding_overhead(20, 512)],
+    ]
+    emit(
+        "Sec. IV-B -- length-encoding bandwidth overhead (%)",
+        format_table(["configuration", "overhead_%"], rows),
+    )
+    assert 0.002 < overhead < 0.005
+
+
+def test_sec4b_codec_roundtrip_throughput(benchmark):
+    payload = bytes(range(256))
+
+    def roundtrip():
+        wf = encode_packet([0, 1, 1, 0, 1, 0, 0, 1], payload, 40.0)
+        return decode_packet(wf, 8, 40.0)
+
+    bits, decoded = benchmark(roundtrip)
+    assert decoded == payload

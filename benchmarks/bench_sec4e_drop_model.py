@@ -1,0 +1,63 @@
+"""Sec. IV-E: worst-case drop model and multiplicity selection.
+
+Paper reference: with one packet per node injected simultaneously,
+multiplicity 4 is required for a 1,024-node network and multiplicity 5 is
+sufficient for networks with over one million nodes (<1% drop rate).
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.core.drop_model import one_shot_drop_rate
+from repro.core.multiplicity import required_multiplicity
+
+
+def test_sec4e_one_shot_drop_sweep(benchmark):
+    rows = []
+    for m in (1, 2, 3, 4, 5):
+        rate = one_shot_drop_rate(1024, m, "random_permutation", trials=3)
+        rows.append([m, 100 * rate])
+    benchmark.pedantic(
+        one_shot_drop_rate,
+        args=(1024, 4, "random_permutation"),
+        kwargs=dict(trials=1),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        "Sec. IV-E -- worst-case one-shot drop rate, 1,024 nodes "
+        "(paper: m=4 crosses ~1%)",
+        format_table(["multiplicity", "drop_%"], rows),
+    )
+    assert rows[4][1] < 1.0  # m=5 comfortably under 1%
+    assert rows[3][1] < 2.0  # m=4 at the ~1% boundary
+
+
+def test_sec4e_multiplicity_selection(benchmark, bench_full):
+    m_1k = benchmark.pedantic(
+        required_multiplicity,
+        args=(1024,),
+        kwargs=dict(patterns=["random_permutation"], trials=2),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [f"required multiplicity @1K: {m_1k} (paper: 4)"]
+    if bench_full:
+        rate_1m = one_shot_drop_rate(
+            2**20, 5, "random_permutation", trials=1
+        )
+        lines.append(
+            f"one-shot drop @1M nodes, m=5: {100 * rate_1m:.2f}% "
+            f"(paper: <1%)"
+        )
+        assert rate_1m < 0.01
+    else:
+        rate_64k = one_shot_drop_rate(
+            2**16, 5, "random_permutation", trials=1
+        )
+        lines.append(
+            f"one-shot drop @64K nodes, m=5: {100 * rate_64k:.2f}% "
+            f"(set REPRO_BENCH_FULL=1 for the 1M-node case)"
+        )
+    emit("Sec. IV-E -- multiplicity selection", "\n".join(lines))
+    assert m_1k in (4, 5)

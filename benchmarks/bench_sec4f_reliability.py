@@ -1,0 +1,49 @@
+"""Sec. IV-F: timing-margin reliability analysis.
+
+Paper reference: the switch tolerates 0.42T of routing-bit length change
+under 10% gate and 1 ps waveguide variation; Gaussian jitter of variance
+1.53 then yields an error probability of ~1e-9.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.tl.reliability import (
+    error_probability,
+    monte_carlo_error_rate,
+    worst_case_margin_periods,
+)
+
+
+def test_sec4f_margin_and_error_probability(benchmark):
+    margin = worst_case_margin_periods(bit_period_ps=40.0)
+    prob = benchmark(error_probability, 0.42, 40.0)
+    rows = [
+        ["worst-case margin (T)", 0.42, margin],
+        ["error probability", 1e-9, prob],
+    ]
+    emit(
+        "Sec. IV-F -- reliability margins (paper vs measured)",
+        format_table(["metric", "paper", "measured"], rows),
+    )
+    assert abs(margin - 0.42) < 0.02
+    assert 1e-10 < prob < 1e-8
+
+
+def test_sec4f_monte_carlo_validates_analytic(benchmark):
+    # Direct MC cannot reach 1e-9, so validate the analytic curve at an
+    # inflated jitter level where both methods have statistics.
+    margin, t, var = 0.3, 40.0, 40.0
+    mc = benchmark.pedantic(
+        monte_carlo_error_rate,
+        args=(margin, t, var),
+        kwargs=dict(trials=200_000, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    analytic = error_probability(margin, t, var)
+    emit(
+        "Sec. IV-F -- Monte-Carlo cross-check (inflated jitter)",
+        f"analytic={analytic:.4f}  monte-carlo={mc:.4f}",
+    )
+    assert abs(mc - analytic) / analytic < 0.15

@@ -1,0 +1,47 @@
+"""Sec. IV-G: physical packaging of the Baldur network.
+
+Paper reference: 1 cabinet at 1K nodes; 752 cabinets at 1M nodes under
+the 127 um fiber-pitch constraint (176 if 85 kW/cabinet were the only
+constraint); TL gates occupy <10% of interposer area.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.cost.packaging import plan_packaging
+
+
+def test_sec4g_packaging_plans(benchmark):
+    plan_1k = benchmark(plan_packaging, 1024)
+    plan_1m = plan_packaging(2**20)
+    rows = [
+        [
+            "1K",
+            plan_1k.multiplicity,
+            plan_1k.total_interposers,
+            plan_1k.cabinets,
+            plan_1k.cabinets_power_limited,
+            100 * plan_1k.tl_area_fraction_of_interposer,
+        ],
+        [
+            "1M",
+            plan_1m.multiplicity,
+            plan_1m.total_interposers,
+            plan_1m.cabinets,
+            plan_1m.cabinets_power_limited,
+            100 * plan_1m.tl_area_fraction_of_interposer,
+        ],
+    ]
+    emit(
+        "Sec. IV-G -- packaging (paper: 1 cabinet @1K, 752 @1M, "
+        "176 power-only, TL area <10%)",
+        format_table(
+            ["scale", "m", "interposers", "cabinets", "power-only",
+             "tl_area_%"],
+            rows,
+        ),
+    )
+    assert plan_1k.cabinets == 1
+    assert abs(plan_1m.cabinets - 752) <= 10
+    assert plan_1m.cabinets_power_limited < plan_1m.cabinets
+    assert plan_1k.tl_area_fraction_of_interposer < 0.10

@@ -1,0 +1,32 @@
+"""Sec. VII: quantitative comparison against an AWGR network at 32 nodes.
+
+Paper reference: Baldur consumes 0.7 W per node (multiplicity 3, TL chip
+power) vs. 4.2 W per node for the AWGR network (receivers, SerDes, header
+buffers, tunable wavelength converters), and avoids the 90 ns electrical
+header-processing latency.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.power.awgr import awgr_comparison
+
+
+def test_sec7_awgr_comparison(benchmark):
+    report = benchmark(awgr_comparison, 32)
+    rows = [
+        ["Baldur W/node", report["paper_baldur_w"],
+         report["baldur_w_per_node"]],
+        ["AWGR W/node", report["paper_awgr_w"], report["awgr_w_per_node"]],
+        ["AWGR/Baldur power", 6.0, report["awgr_over_baldur"]],
+        ["Baldur switch latency (ns)", 0.94,
+         report["baldur_switch_latency_ns"]],
+        ["AWGR header latency (ns)", 90.0,
+         report["awgr_header_latency_ns"]],
+    ]
+    emit(
+        "Sec. VII -- Baldur vs AWGR at 32 nodes (paper vs measured)",
+        format_table(["metric", "paper", "measured"], rows),
+    )
+    assert report["awgr_over_baldur"] > 4.0
+    assert report["baldur_switch_latency_ns"] < 2.0

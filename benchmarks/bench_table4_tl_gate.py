@@ -1,0 +1,28 @@
+"""Table IV: TL gate characteristics from the device model.
+
+Paper reference (Keysight ADS): area 25 um^2, rise/fall 7.3 ps, delay
+1.93 ps, power 0.406 mW, data rate 60 Gbps, 6.77 fJ/bit.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.tl.device import TLDeviceParameters, characterize_gate
+
+
+def test_table4_tl_gate_characteristics(benchmark):
+    chars = benchmark(characterize_gate, TLDeviceParameters())
+    rows = [
+        ["area (um^2)", 25.0, chars.area_um2],
+        ["rise/fall (ps)", 7.3, chars.rise_fall_time_ps],
+        ["delay (ps)", 1.93, chars.delay_ps],
+        ["power (mW)", 0.406, chars.power_mw],
+        ["data rate (Gbps)", 60.0, chars.data_rate_gbps],
+        ["energy (fJ/bit)", 6.77, chars.energy_per_bit_fj],
+    ]
+    emit(
+        "Table IV -- TL gate device-level results",
+        format_table(["metric", "paper", "measured"], rows),
+    )
+    assert abs(chars.delay_ps - 1.93) < 0.05
+    assert abs(chars.power_mw - 0.406) < 0.01

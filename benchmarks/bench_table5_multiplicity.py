@@ -1,0 +1,52 @@
+"""Table V: path multiplicity vs. gates / switch latency / drop rate.
+
+Paper reference (1,024 nodes, transpose, load 0.7):
+  m=1: 64 gates, 0.14 ns, 65.3%    m=2: 300, 0.49 ns, 21.5%
+  m=3: 642, 0.94 ns, 3.2%          m=4: 1,112, 1.5 ns, 0.3%
+  m=5: 1,710, 2.25 ns, 0.02%
+Gate counts and latencies are reproduced verbatim from the switch model;
+drop rates come from the detailed simulator (shape reproduced: each +1 in
+multiplicity cuts drops by ~5-7X; absolutes run a few X higher than CODES
+at reduced scale -- see EXPERIMENTS.md).
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import table5
+from repro.analysis.tables import format_table
+
+
+def test_table5_multiplicity_sweep(benchmark, bench_nodes, bench_packets):
+    rows = benchmark.pedantic(
+        table5,
+        kwargs=dict(
+            n_nodes=bench_nodes,
+            multiplicities=(1, 2, 3, 4, 5),
+            packets_per_node=bench_packets,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["m", "gates", "latency_ns", "drop_%", "paper_drop_%", "avg_ns"],
+        [
+            [
+                r["multiplicity"],
+                r["gates_per_switch"],
+                r["switch_latency_ns"],
+                r["drop_rate_pct"],
+                r["paper_drop_rate_pct"],
+                r["avg_latency_ns"],
+            ]
+            for r in rows
+        ],
+    )
+    emit(
+        f"Table V -- multiplicity sweep ({bench_nodes} nodes, transpose, "
+        f"load 0.7, {bench_packets} pkts/node)",
+        table,
+    )
+    gates = [r["gates_per_switch"] for r in rows]
+    assert gates == [64, 300, 642, 1112, 1710]
+    drops = [r["drop_rate_pct"] for r in rows]
+    assert drops[0] > drops[2] > drops[4]

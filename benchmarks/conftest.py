@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+The paper's detailed simulations use 1,024 nodes x 10,000 packets/node;
+pure-Python packet simulation at that volume takes hours, so the benches
+default to a reduced scale that preserves the latency/drop-rate *shape*.
+Override with environment variables for fuller runs:
+
+* ``REPRO_BENCH_NODES``   -- network size for packet-level benches
+  (default 128; the paper uses 1024);
+* ``REPRO_BENCH_PACKETS`` -- packets per node (default 20; paper 10,000);
+* ``REPRO_BENCH_FULL=1``  -- also run the >1M-node drop-model case.
+"""
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_nodes() -> int:
+    """Node count for packet-level benches."""
+    return _env_int("REPRO_BENCH_NODES", 128)
+
+
+@pytest.fixture(scope="session")
+def bench_packets() -> int:
+    """Packets per node for packet-level benches."""
+    return _env_int("REPRO_BENCH_PACKETS", 20)
+
+
+@pytest.fixture(scope="session")
+def bench_full() -> bool:
+    """Whether to run the full-scale (1M-node) cases."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def emit(title: str, body: str) -> None:
+    """Print a paper-style results block (captured by pytest -s)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Replay the four Design-Forward-style HPC workloads on every network.
+
+Reproduces the Fig. 7 experiment at a reduced scale: AMG, CrystalRouter,
+MultiGrid, and FB traces are replayed bulk-synchronously on Baldur and the
+three electrical baselines, and average latencies are printed normalized
+to Baldur (paper: Baldur's geomean is 2.6X-9.1X better; FB is the
+worst case for dragonfly/fat-tree).
+
+Run:  python examples/hpc_workloads.py [n_nodes]
+"""
+
+import sys
+
+from repro import HPC_WORKLOADS, build_network, replay_trace
+from repro.analysis import format_table
+from repro.netsim.stats import geomean
+
+NETWORKS = ("baldur", "multibutterfly", "dragonfly", "fattree")
+
+
+def main(n_nodes: int = 128) -> None:
+    rows = []
+    ratios = {name: [] for name in NETWORKS if name != "baldur"}
+    for workload, trace_fn in HPC_WORKLOADS.items():
+        trace = trace_fn(n_nodes, seed=1)
+        latencies = {}
+        for network in NETWORKS:
+            net = build_network(network, n_nodes, seed=1)
+            stats = replay_trace(net, trace, until=100_000_000)
+            latencies[network] = stats.average_latency
+        baldur = latencies["baldur"]
+        rows.append(
+            [workload, baldur]
+            + [latencies[name] / baldur for name in NETWORKS[1:]]
+        )
+        for name in ratios:
+            ratios[name].append(latencies[name] / baldur)
+    rows.append(
+        ["geomean", 1.0] + [geomean(ratios[name]) for name in NETWORKS[1:]]
+    )
+    print(
+        format_table(
+            ["workload", "baldur_ns"]
+            + [f"{name}/baldur" for name in NETWORKS[1:]],
+            rows,
+            title=f"HPC workload replay, {n_nodes} nodes "
+            f"(latency normalized to Baldur)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

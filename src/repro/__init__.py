@@ -1,0 +1,101 @@
+"""repro: a full reproduction of *Baldur: A Power-Efficient and Scalable
+Network Using All-Optical Switches* (HPCA 2020).
+
+Layer map (bottom-up):
+
+* :mod:`repro.sim` -- discrete-event kernel;
+* :mod:`repro.tl` -- transistor-laser devices, gates, codec, and the
+  gate-level 2x2 switch circuit;
+* :mod:`repro.netsim` / :mod:`repro.topology` -- packet-level substrate
+  and topology construction;
+* :mod:`repro.core` -- the Baldur network (bufferless, drops, multiplicity,
+  retransmission) and the worst-case drop model;
+* :mod:`repro.electrical` -- dragonfly / fat-tree / electrical
+  multi-butterfly / ideal baselines;
+* :mod:`repro.traffic` -- synthetic patterns and HPC workload traces;
+* :mod:`repro.power`, :mod:`repro.cost` -- power, cost, packaging models;
+* :mod:`repro.analysis` -- drivers that regenerate every table and figure.
+
+Quick start::
+
+    from repro import BaldurNetwork, random_permutation, inject_open_loop
+    net = BaldurNetwork(n_nodes=1024, multiplicity=4, seed=0)
+    inject_open_loop(net, random_permutation(1024), input_load=0.7,
+                     packets_per_node=100)
+    stats = net.run()
+    print(stats.summary())
+"""
+
+from repro.analysis import build_network, figure6, figure7, table5
+from repro.core import (
+    BaldurNetwork,
+    multiplicity_for_scale,
+    one_shot_drop_rate,
+    required_multiplicity,
+)
+from repro.cost import baldur_cost, plan_packaging
+from repro.electrical import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    IdealNetwork,
+    MultiButterflyNetwork,
+)
+from repro.power import (
+    awgr_comparison,
+    baldur_power,
+    dragonfly_power,
+    fattree_power,
+    multibutterfly_power,
+    power_scaling_sweep,
+    sensitivity_ratios,
+)
+from repro.tl import (
+    TLSwitchCircuit,
+    characterize_gate,
+    length_encoding_overhead,
+    switch_model,
+)
+from repro.traffic import (
+    HPC_WORKLOADS,
+    inject_open_loop,
+    random_permutation,
+    replay_trace,
+    run_ping_pong,
+    transpose,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaldurNetwork",
+    "multiplicity_for_scale",
+    "one_shot_drop_rate",
+    "required_multiplicity",
+    "DragonflyNetwork",
+    "FatTreeNetwork",
+    "IdealNetwork",
+    "MultiButterflyNetwork",
+    "baldur_cost",
+    "plan_packaging",
+    "awgr_comparison",
+    "baldur_power",
+    "dragonfly_power",
+    "fattree_power",
+    "multibutterfly_power",
+    "power_scaling_sweep",
+    "sensitivity_ratios",
+    "TLSwitchCircuit",
+    "characterize_gate",
+    "length_encoding_overhead",
+    "switch_model",
+    "HPC_WORKLOADS",
+    "inject_open_loop",
+    "random_permutation",
+    "replay_trace",
+    "run_ping_pong",
+    "transpose",
+    "build_network",
+    "figure6",
+    "figure7",
+    "table5",
+]

@@ -1,0 +1,25 @@
+"""Experiment drivers and table formatting for the evaluation section."""
+
+from repro.analysis.experiments import (
+    NETWORK_NAMES,
+    build_network,
+    figure6,
+    figure7,
+    pattern_destinations,
+    run_open_loop,
+    table5,
+)
+from repro.analysis.tables import format_latency_grid, format_table, normalize_to
+
+__all__ = [
+    "NETWORK_NAMES",
+    "build_network",
+    "figure6",
+    "figure7",
+    "pattern_destinations",
+    "run_open_loop",
+    "table5",
+    "format_latency_grid",
+    "format_table",
+    "normalize_to",
+]

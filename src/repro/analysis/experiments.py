@@ -1,0 +1,218 @@
+"""High-level experiment drivers that regenerate the paper's evaluation.
+
+Each function reproduces one table or figure at a configurable scale.  The
+paper's configuration is 1,024 nodes with 10,000 packets per node; pure-
+Python packet simulation at that volume takes hours, so the defaults here
+are scaled down (the latency/drop *shape* is stable well below the paper's
+packet budget -- the benches print both the configuration used and the
+paper's reference values).  Set ``n_nodes=1024, packets_per_node=10_000``
+to run the full-paper configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro import constants as C
+from repro.core.baldur_network import BaldurNetwork
+from repro.electrical import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    IdealNetwork,
+    MultiButterflyNetwork,
+)
+from repro.errors import ConfigurationError
+from repro.netsim.stats import LatencyStats
+from repro.traffic import (
+    HPC_WORKLOADS,
+    bisection,
+    group_permutation,
+    hotspot,
+    inject_open_loop,
+    ping_pong1_pairs,
+    ping_pong2_pairs,
+    random_permutation,
+    replay_trace,
+    run_ping_pong,
+    transpose,
+)
+
+__all__ = [
+    "build_network",
+    "NETWORK_NAMES",
+    "pattern_destinations",
+    "run_open_loop",
+    "figure6",
+    "figure7",
+    "table5",
+]
+
+NETWORK_NAMES = ("baldur", "multibutterfly", "dragonfly", "fattree", "ideal")
+"""The five networks compared throughout Sec. V."""
+
+DEFAULT_UNTIL_NS = 50_000_000.0
+"""Simulation horizon: saturated networks report the latency of whatever
+they managed to deliver by this time, as in any fixed-horizon replay."""
+
+
+def build_network(name: str, n_nodes: int, seed: int = 0):
+    """Construct one of the Sec. V networks by name (Table VI configs)."""
+    if name == "baldur":
+        return BaldurNetwork(
+            n_nodes, multiplicity=C.BALDUR_MULTIPLICITY, seed=seed
+        )
+    if name == "multibutterfly":
+        return MultiButterflyNetwork(
+            n_nodes, multiplicity=C.BALDUR_MULTIPLICITY, seed=seed
+        )
+    if name == "dragonfly":
+        return DragonflyNetwork(n_nodes, seed=seed)
+    if name == "fattree":
+        return FatTreeNetwork(n_nodes, seed=seed)
+    if name == "ideal":
+        return IdealNetwork(n_nodes)
+    raise ConfigurationError(f"unknown network {name!r}")
+
+
+def pattern_destinations(pattern: str, n_nodes: int, seed: int = 0) -> Dict[int, int]:
+    """Destination map for an open-loop pattern name."""
+    if pattern == "random_permutation":
+        return random_permutation(n_nodes, seed)
+    if pattern == "transpose":
+        return transpose(n_nodes)
+    if pattern == "bisection":
+        return bisection(n_nodes, seed)
+    if pattern == "group_permutation":
+        return group_permutation(n_nodes, seed)
+    if pattern == "hotspot":
+        return hotspot(n_nodes)
+    raise ConfigurationError(f"unknown open-loop pattern {pattern!r}")
+
+
+def run_open_loop(
+    network_name: str,
+    n_nodes: int,
+    pattern: str,
+    load: float,
+    packets_per_node: int,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+) -> LatencyStats:
+    """One open-loop experiment cell (one point of Fig. 6)."""
+    net = build_network(network_name, n_nodes, seed)
+    destinations = pattern_destinations(pattern, n_nodes, seed)
+    inject_open_loop(net, destinations, load, packets_per_node, seed=seed)
+    return net.run(until=until)
+
+
+def figure6(
+    n_nodes: int = 128,
+    loads: Iterable[float] = (0.1, 0.4, 0.7, 0.9),
+    patterns: Iterable[str] = (
+        "random_permutation",
+        "transpose",
+        "bisection",
+        "group_permutation",
+    ),
+    packets_per_node: int = 20,
+    networks: Iterable[str] = NETWORK_NAMES,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+) -> Dict[str, Dict[str, Dict[float, LatencyStats]]]:
+    """Fig. 6: average/tail latency vs. input load, per pattern x network.
+
+    Returns ``result[pattern][network][load] -> LatencyStats``.
+    """
+    result: Dict[str, Dict[str, Dict[float, LatencyStats]]] = {}
+    for pattern in patterns:
+        result[pattern] = {}
+        for network in networks:
+            result[pattern][network] = {}
+            for load in loads:
+                result[pattern][network][load] = run_open_loop(
+                    network, n_nodes, pattern, load,
+                    packets_per_node, seed, until,
+                )
+    return result
+
+
+def figure7(
+    n_nodes: int = 128,
+    packets_per_node: int = 20,
+    ping_pong_rounds: int = 10,
+    networks: Iterable[str] = NETWORK_NAMES,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+    hpc_kwargs: Optional[Dict[str, dict]] = None,
+) -> Dict[str, Dict[str, LatencyStats]]:
+    """Fig. 7: hotspot, ping_pong1/2, and the four HPC workloads.
+
+    Returns ``result[workload][network] -> LatencyStats``.  Normalize
+    against the 'ideal' column to obtain the paper's normalized plots.
+    """
+    result: Dict[str, Dict[str, LatencyStats]] = {}
+
+    result["hotspot"] = {
+        network: run_open_loop(
+            network, n_nodes, "hotspot", C.HEAVY_INPUT_LOAD,
+            max(2, packets_per_node // 4), seed, until,
+        )
+        for network in networks
+    }
+
+    for name, pairs_fn in (
+        ("ping_pong1", ping_pong1_pairs),
+        ("ping_pong2", ping_pong2_pairs),
+    ):
+        result[name] = {}
+        for network in networks:
+            net = build_network(network, n_nodes, seed)
+            pairs = pairs_fn(n_nodes, seed)
+            result[name][network] = run_ping_pong(
+                net, pairs, rounds=ping_pong_rounds, until=until
+            )
+
+    hpc_kwargs = hpc_kwargs or {}
+    for workload, trace_fn in HPC_WORKLOADS.items():
+        kwargs = hpc_kwargs.get(workload, {})
+        trace = trace_fn(n_nodes, seed=seed, **kwargs)
+        result[workload] = {}
+        for network in networks:
+            net = build_network(network, n_nodes, seed)
+            result[workload][network] = replay_trace(net, trace, until=until)
+    return result
+
+
+def table5(
+    n_nodes: int = 256,
+    multiplicities: Iterable[int] = (1, 2, 3, 4, 5),
+    load: float = C.HEAVY_INPUT_LOAD,
+    packets_per_node: int = 30,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+) -> List[dict]:
+    """Table V: gates / switch latency / drop rate per multiplicity.
+
+    Drop rates come from the detailed simulator under the transpose
+    pattern at the given load, matching the Table V methodology.
+    """
+    from repro.tl.switch_circuit import switch_model
+
+    rows = []
+    destinations = transpose(n_nodes)
+    for m in multiplicities:
+        model = switch_model(m)
+        net = BaldurNetwork(n_nodes, multiplicity=m, seed=seed)
+        inject_open_loop(net, destinations, load, packets_per_node, seed=seed)
+        stats = net.run(until=until)
+        rows.append(
+            {
+                "multiplicity": m,
+                "gates_per_switch": model.gate_count,
+                "switch_latency_ns": model.latency_ns,
+                "drop_rate_pct": 100 * stats.drop_rate,
+                "paper_drop_rate_pct": C.PAPER_DROP_RATE_PCT.get(m),
+                "avg_latency_ns": stats.average_latency,
+            }
+        )
+    return rows

@@ -1,0 +1,89 @@
+"""Dependency-free ASCII plotting for latency/power curves.
+
+Renders the Fig. 6/8-style series as terminal line charts so the CLI and
+examples can show curve *shapes* (saturation knees, scaling slopes)
+without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Dict[float, float]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x -> y) series as an ASCII chart.
+
+    Each series gets a marker; a legend is appended.  ``logy`` plots
+    log10(y), which is how the paper presents the latency figures.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    points = [
+        (x, y)
+        for curve in series.values()
+        for x, y in curve.items()
+        if y == y  # drop NaN
+    ]
+    if not points:
+        raise ValueError("all points are NaN")
+
+    def transform(y: float) -> float:
+        if not logy:
+            return y
+        if y <= 0:
+            raise ValueError("logy requires positive values")
+        return math.log10(y)
+
+    xs = [x for x, _ in points]
+    ys = [transform(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in sorted(curve.items()):
+            if y != y:
+                continue
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_label = f" {ylabel}" if ylabel else ""
+    lines.append(f"{_fmt(y_hi, logy)}{axis_label}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append(f"{_fmt(y_lo, logy)} " + "-" * width)
+    footer = f"x: {x_lo:g} .. {x_hi:g}"
+    if xlabel:
+        footer += f" ({xlabel})"
+    lines.append(footer)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _fmt(value: float, logy: bool) -> str:
+    shown = 10**value if logy else value
+    return f"{shown:,.4g}"

@@ -1,0 +1,79 @@
+"""Saturation analysis (the Fig. 6 'saturate at higher input loads' claim).
+
+A network is saturated at a given offered load when queueing (or drops and
+retransmissions) inflate latency without bound.  We detect saturation with
+the standard latency-inflation criterion: the lowest load whose average
+latency exceeds ``threshold`` times the low-load latency.  The paper's
+claim: both multi-butterfly networks (Baldur and eMB) saturate at higher
+loads than dragonfly and fat-tree on the Sec. V-A patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.analysis.experiments import run_open_loop
+from repro.errors import ConfigurationError
+
+__all__ = ["latency_curve", "saturation_load"]
+
+DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
+
+
+def latency_curve(
+    network_name: str,
+    n_nodes: int,
+    pattern: str = "random_permutation",
+    loads: Sequence[float] = DEFAULT_LOADS,
+    packets_per_node: int = 20,
+    seed: int = 0,
+    until: float = 50_000_000.0,
+) -> Dict[float, float]:
+    """Average latency at each offered load."""
+    if not loads:
+        raise ConfigurationError("need at least one load point")
+    return {
+        load: run_open_loop(
+            network_name, n_nodes, pattern, load,
+            packets_per_node, seed, until,
+        ).average_latency
+        for load in loads
+    }
+
+
+def saturation_load(
+    curve: Dict[float, float],
+    threshold: float = 3.0,
+) -> Optional[float]:
+    """The lowest load whose latency exceeds ``threshold`` x the latency at
+    the lowest measured load; None if the network never saturates in the
+    measured range."""
+    if threshold <= 1.0:
+        raise ConfigurationError("threshold must exceed 1.0")
+    loads = sorted(curve)
+    base = curve[loads[0]]
+    for load in loads:
+        if curve[load] > threshold * base:
+            return load
+    return None
+
+
+def saturation_comparison(
+    n_nodes: int,
+    pattern: str = "random_permutation",
+    networks: Iterable[str] = (
+        "baldur", "multibutterfly", "dragonfly", "fattree",
+    ),
+    loads: Sequence[float] = DEFAULT_LOADS,
+    packets_per_node: int = 20,
+    seed: int = 0,
+) -> Dict[str, Optional[float]]:
+    """Saturation load per network (None = not saturated in range)."""
+    return {
+        name: saturation_load(
+            latency_curve(
+                name, n_nodes, pattern, loads, packets_per_node, seed
+            )
+        )
+        for name in networks
+    }

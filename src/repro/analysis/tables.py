@@ -1,0 +1,73 @@
+"""Paper-style table formatting for bench output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_latency_grid", "normalize_to"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render rows as a fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if cell != 0 and abs(cell) < 1e-3:
+            return f"{cell:.2e}"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_latency_grid(
+    results: Dict[str, Dict[float, object]],
+    metric: str = "average_latency",
+    title: str = "",
+) -> str:
+    """Render {network: {load: LatencyStats}} as a loads x networks table."""
+    networks = list(results)
+    loads = sorted({load for r in results.values() for load in r})
+    headers = ["load"] + networks
+    rows: List[List] = []
+    for load in loads:
+        row: List = [load]
+        for network in networks:
+            stats = results[network].get(load)
+            row.append(getattr(stats, metric) if stats else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def normalize_to(
+    values: Dict[str, float], reference: str
+) -> Dict[str, float]:
+    """Divide every entry by the reference entry (Fig. 7 normalization)."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} missing")
+    ref = values[reference]
+    if ref <= 0:
+        raise ValueError("reference value must be positive")
+    return {name: value / ref for name, value in values.items()}

@@ -1,0 +1,247 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro.cli table4
+    python -m repro.cli table5 --nodes 256 --packets 30
+    python -m repro.cli fig6 --nodes 128 --loads 0.3 0.7 0.9
+    python -m repro.cli fig7 --nodes 128
+    python -m repro.cli fig8
+    python -m repro.cli fig9
+    python -m repro.cli fig10
+    python -m repro.cli drop-model --nodes 1024
+    python -m repro.cli packaging
+    python -m repro.cli awgr
+    python -m repro.cli diagnose --nodes 64 --stage 2 --switch 13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_latency_grid, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table4(args) -> None:
+    from repro.tl.device import characterize_gate
+
+    chars = characterize_gate()
+    rows = [
+        ["area (um^2)", 25.0, chars.area_um2],
+        ["rise/fall (ps)", 7.3, chars.rise_fall_time_ps],
+        ["delay (ps)", 1.93, chars.delay_ps],
+        ["power (mW)", 0.406, chars.power_mw],
+        ["data rate (Gbps)", 60.0, chars.data_rate_gbps],
+    ]
+    print(format_table(["metric", "paper", "measured"], rows,
+                       title="Table IV -- TL gate characteristics"))
+
+
+def _cmd_table5(args) -> None:
+    from repro.analysis.experiments import table5
+
+    rows = table5(n_nodes=args.nodes, packets_per_node=args.packets,
+                  seed=args.seed)
+    print(format_table(
+        ["m", "gates", "latency_ns", "drop_%", "paper_drop_%"],
+        [
+            [r["multiplicity"], r["gates_per_switch"],
+             r["switch_latency_ns"], r["drop_rate_pct"],
+             r["paper_drop_rate_pct"]]
+            for r in rows
+        ],
+        title=f"Table V -- multiplicity sweep ({args.nodes} nodes)",
+    ))
+
+
+def _cmd_fig6(args) -> None:
+    from repro.analysis.experiments import figure6
+    from repro.analysis.plotting import ascii_plot
+
+    results = figure6(
+        n_nodes=args.nodes,
+        loads=tuple(args.loads),
+        packets_per_node=args.packets,
+        seed=args.seed,
+    )
+    for pattern, grid in results.items():
+        print(format_latency_grid(
+            grid, metric="average_latency",
+            title=f"[{pattern}] average latency (ns)"))
+        if len(args.loads) > 1:
+            series = {
+                network: {
+                    load: stats.average_latency
+                    for load, stats in per_load.items()
+                }
+                for network, per_load in grid.items()
+            }
+            print()
+            print(ascii_plot(
+                series, logy=True, xlabel="input load",
+                ylabel="avg latency (ns)",
+            ))
+        print()
+
+
+def _cmd_fig7(args) -> None:
+    from repro.analysis.experiments import NETWORK_NAMES, figure7
+
+    results = figure7(n_nodes=args.nodes, packets_per_node=args.packets,
+                      seed=args.seed)
+    rows = []
+    for workload, per_net in results.items():
+        baldur = per_net["baldur"].average_latency
+        rows.append([workload] + [
+            per_net[name].average_latency / baldur
+            for name in NETWORK_NAMES
+        ])
+    print(format_table(
+        ["workload"] + list(NETWORK_NAMES), rows,
+        title=f"Fig. 7 -- avg latency normalized to Baldur "
+        f"({args.nodes} nodes)",
+    ))
+
+
+def _cmd_fig8(args) -> None:
+    from repro.power.network_power import FIG8_SCALES, power_scaling_sweep
+
+    sweep = power_scaling_sweep(list(FIG8_SCALES))
+    networks = list(sweep)
+    rows = [
+        [f"{scale:,}"] + [sweep[name][i].total for name in networks]
+        for i, scale in enumerate(FIG8_SCALES)
+    ]
+    print(format_table(["scale"] + networks, rows,
+                       title="Fig. 8 -- power per server node (W)"))
+
+
+def _cmd_fig9(args) -> None:
+    from repro.power.sensitivity import SENSITIVITY_CASES, sensitivity_ratios
+
+    networks = ("dragonfly", "fattree", "multibutterfly")
+    rows = [
+        [case] + [sensitivity_ratios(2**20, case)[n] for n in networks]
+        for case in SENSITIVITY_CASES
+    ]
+    print(format_table(["case"] + list(networks), rows,
+                       title="Fig. 9 -- Baldur advantage (1M scale)"))
+
+
+def _cmd_fig10(args) -> None:
+    from repro.cost.model import baldur_cost
+
+    rows = []
+    for n in (1024, 4096, 16384, 65536, 262144, 1048576):
+        cost = baldur_cost(n)
+        rows.append([f"{n:,}", cost.interposers, cost.total])
+    print(format_table(["scale", "interposer_$", "total_$"], rows,
+                       title="Fig. 10 -- Baldur cost per node (USD)"))
+
+
+def _cmd_drop_model(args) -> None:
+    from repro.core.drop_model import one_shot_drop_rate
+
+    rows = [
+        [m, 100 * one_shot_drop_rate(args.nodes, m, seed=args.seed,
+                                     trials=args.trials)]
+        for m in (1, 2, 3, 4, 5)
+    ]
+    print(format_table(
+        ["multiplicity", "drop_%"], rows,
+        title=f"Sec. IV-E -- worst-case drop rate ({args.nodes} nodes)",
+    ))
+
+
+def _cmd_packaging(args) -> None:
+    from repro.cost.packaging import plan_packaging
+
+    rows = []
+    for n in (1024, 16384, 262144, 1048576):
+        plan = plan_packaging(n)
+        rows.append([f"{n:,}", plan.multiplicity, plan.total_interposers,
+                     plan.cabinets, plan.cabinets_power_limited])
+    print(format_table(
+        ["scale", "m", "interposers", "cabinets", "power-only"], rows,
+        title="Sec. IV-G -- packaging",
+    ))
+
+
+def _cmd_awgr(args) -> None:
+    from repro.power.awgr import awgr_comparison
+
+    report = awgr_comparison()
+    rows = [[k, v] for k, v in report.items()]
+    print(format_table(["metric", "value"], rows,
+                       title="Sec. VII -- Baldur vs AWGR at 32 nodes"))
+
+
+def _cmd_diagnose(args) -> None:
+    from repro.core.diagnosis import run_diagnosis
+
+    report = run_diagnosis(
+        args.nodes, (args.stage, args.switch),
+        n_probes=args.probes, seed=args.seed,
+    )
+    rows = [[k, str(v)] for k, v in report.items()]
+    print(format_table(["field", "value"], rows,
+                       title="Sec. IV-F -- fault diagnosis"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from the Baldur paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, **extra):
+        p = sub.add_parser(name)
+        p.set_defaults(fn=fn)
+        p.add_argument("--seed", type=int, default=0)
+        for arg, kwargs in extra.items():
+            p.add_argument(f"--{arg}", **kwargs)
+        return p
+
+    add("table4", _cmd_table4)
+    add("table5", _cmd_table5,
+        nodes=dict(type=int, default=128),
+        packets=dict(type=int, default=20))
+    fig6 = add("fig6", _cmd_fig6,
+               nodes=dict(type=int, default=128),
+               packets=dict(type=int, default=20))
+    fig6.add_argument("--loads", type=float, nargs="+",
+                      default=[0.3, 0.7, 0.9])
+    add("fig7", _cmd_fig7,
+        nodes=dict(type=int, default=128),
+        packets=dict(type=int, default=20))
+    add("fig8", _cmd_fig8)
+    add("fig9", _cmd_fig9)
+    add("fig10", _cmd_fig10)
+    add("drop-model", _cmd_drop_model,
+        nodes=dict(type=int, default=1024),
+        trials=dict(type=int, default=3))
+    add("packaging", _cmd_packaging)
+    add("awgr", _cmd_awgr)
+    add("diagnose", _cmd_diagnose,
+        nodes=dict(type=int, default=64),
+        stage=dict(type=int, default=2),
+        switch=dict(type=int, default=13),
+        probes=dict(type=int, default=200))
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

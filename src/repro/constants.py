@@ -1,0 +1,391 @@
+"""Verbatim constants from the Baldur paper (HPCA 2020).
+
+Every number quoted in the paper's tables and text is collected here, with a
+pointer to where it appears, so that the rest of the library never hard-codes
+a magic number.  Units are given in each name or docstring.
+
+Sections referenced:
+  * Table III  -- TL device and circuit parameters.
+  * Table IV   -- TL gate simulation results.
+  * Table V    -- path multiplicity / drop-rate results.
+  * Table VI   -- network simulation configurations.
+  * Sec. IV-B  -- length-based encoding.
+  * Sec. IV-E  -- drops, BEB, retransmission buffers.
+  * Sec. IV-F  -- reliability margins.
+  * Sec. IV-G  -- packaging.
+  * Sec. V-A   -- evaluation methodology.
+  * Sec. VI-A  -- power component numbers.
+  * Sec. VI-B  -- cost analysis.
+  * Sec. VII   -- AWGR comparison.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Table III: TL device parameters
+# --------------------------------------------------------------------------
+
+TL_JUNCTION_CAPACITANCE_F = 100e-15
+"""Base-emitter junction capacitance of a TL (100 fF, Table III)."""
+
+TL_RECOMBINATION_LIFETIME_S = 37e-12
+"""Spontaneous recombination lifetime (37 ps, Table III)."""
+
+TL_PHOTON_LIFETIME_S = 2.72e-12
+"""Photon lifetime in the cavity (2.72 ps, Table III)."""
+
+TL_WAVELENGTH_NM = 980.0
+"""Emission wavelength (980 nm, Table III)."""
+
+TL_THRESHOLD_CURRENT_A = 0.1e-3
+"""TL lasing threshold current (0.1 mA, Table III)."""
+
+TL_BIAS_CURRENT_A = 0.2e-3
+"""Static bias current (0.2 mA, Table III)."""
+
+TL_SUPPLY_V1_V = 1.32
+"""Primary voltage supply +V1 (Table III)."""
+
+TL_SUPPLY_V2_V = 0.6
+"""Secondary voltage supply +V2 (Table III)."""
+
+TL_LOAD_RESISTOR_OHM = 5.0
+"""Load resistor (Table III)."""
+
+TL_BASE_MODULATION_A = 0.2e-3
+"""Base current modulation amplitude (0.2 mA, Table III)."""
+
+TL_COLLECTOR_TUNNELING_MODULATION_A = 17e-6
+"""Collector tunneling modulation (17 uA, Table III)."""
+
+TL_PD_JUNCTION_CAPACITANCE_F = 100e-15
+"""Photodetector junction capacitance (100 fF, Table III)."""
+
+TL_PD_AVERAGE_CURRENT_A = 0.1e-3
+"""Average photodetector current (0.1 mA, Table III)."""
+
+# --------------------------------------------------------------------------
+# Table IV: TL gate simulation results (apply to INV/NAND/NOR/AND/OR alike)
+# --------------------------------------------------------------------------
+
+TL_GATE_AREA_UM2 = 25.0
+"""TL gate area (25 um^2, Table IV)."""
+
+TL_GATE_RISE_FALL_TIME_PS = 7.3
+"""Optical output rise/fall time (7.3 ps, Table IV)."""
+
+TL_GATE_DELAY_PS = 1.93
+"""Gate propagation delay (1.93 ps, Table IV)."""
+
+TL_GATE_POWER_W = 0.406e-3
+"""Gate power (0.406 mW, Table IV); static power dominates, so this is
+independent of data rate and activity factor (Sec. III footnote)."""
+
+TL_GATE_DATA_RATE_GBPS = 60.0
+"""Demonstrated gate data rate (60 Gbps, Table IV)."""
+
+TL_GATE_ENERGY_PER_BIT_FJ = 6.77
+"""0.406 mW / 60 Gbps = 6.77 fJ/bit (Sec. III)."""
+
+TL_LATCH_NOR_GATES = 2
+"""A TL latch is two cross-coupled NOR gates, so it consumes double the power
+of a single gate (Sec. III)."""
+
+TL_GATE_MAX_FANIN = 2
+"""Design rule: no more than 2 inputs per gate to limit waveguide routing and
+coupling complexity (Sec. III)."""
+
+# --------------------------------------------------------------------------
+# Table V: path multiplicity results (1,024-node Baldur, transpose, load 0.7)
+# --------------------------------------------------------------------------
+
+GATES_PER_SWITCH = {1: 64, 2: 300, 3: 642, 4: 1112, 5: 1710}
+"""TL gates in a 2x2 switch for multiplicity 1..5 (Table V).  The abstract
+quotes 1,112 gates, i.e. the multiplicity-4 design."""
+
+SWITCH_LATENCY_NS = {1: 0.14, 2: 0.49, 3: 0.94, 4: 1.5, 5: 2.25}
+"""2x2 TL switch latency for multiplicity 1..5 (Table V)."""
+
+PAPER_DROP_RATE_PCT = {1: 65.3, 2: 21.5, 3: 3.2, 4: 0.3, 5: 0.02}
+"""Packet drop rate reported in Table V (transpose, input load 0.7,
+1,024 nodes)."""
+
+# --------------------------------------------------------------------------
+# Sec. IV-B: length-based encoding
+# --------------------------------------------------------------------------
+
+ENCODING_ZERO_PERIODS = 2
+"""Logic '0' is encoded as light for two bit periods (2T)."""
+
+ENCODING_ONE_PERIODS = 1
+"""Logic '1' is encoded as light for one bit period (T)."""
+
+ENCODING_SLOT_PERIODS = 3
+"""Each routing bit plus its gap period occupies exactly 3T."""
+
+END_OF_PACKET_DARK_PERIODS = 6
+"""Absence of light for more than 6T means no in-flight packet (Sec. IV-C);
+8b/10b payloads never contain more than 5 consecutive zeros."""
+
+VALID_LATCH_SET_PERIODS = 2.5
+"""Valid/mask-off latches are set 2.5T after the beginning of a packet."""
+
+FIRST_BIT_SAMPLE_DELAY_PERIODS = 1.3
+"""Routing-bit decode: the input is delayed by 1.3T and sampled at the falling
+edge of the first bit (Fig. 3)."""
+
+EDGE_DETECT_DELAY_PERIODS = 0.5
+"""Edge detection compares the combiner output against itself delayed 0.5T."""
+
+LINE_DETECTOR_THETA_PERIODS = 1.3
+"""Line activity detector parameter theta = 1.3T (Fig. 4b)."""
+
+LINE_DETECTOR_DELTA_PERIODS = 0.4
+"""Line activity detector parameter delta = 0.4T (Fig. 4b)."""
+
+LINE_DETECTOR_N_STAGES = 15
+"""Line activity detector delay-bank size n = 15 (Fig. 4b)."""
+
+WAVEGUIDE_DELAY_WD_PS = 132.0
+"""Switch-fabric waveguide delays WD0/WD1 (132 ps, Sec. IV-C)."""
+
+# --------------------------------------------------------------------------
+# Sec. IV-E / IV-F: drops, retransmission, reliability
+# --------------------------------------------------------------------------
+
+TARGET_DROP_RATE = 0.01
+"""Multiplicity is chosen so the worst-case drop rate is below 1%."""
+
+MULTIPLICITY_FOR_1K = 4
+"""Multiplicity 4 is required for a 1,024-node network (Sec. IV-E)."""
+
+MULTIPLICITY_FOR_1M = 5
+"""Multiplicity 5 is sufficient for networks with over 1 million nodes."""
+
+MULTIPLICITY_FOR_32 = 3
+"""Multiplicity 3 is sufficient at the 32-node scale (Sec. VII)."""
+
+RETX_BUFFER_SUFFICIENT_KB = 536
+"""Measured sufficient retransmission buffer per node at load 0.7."""
+
+RETX_BUFFER_PROVISIONED_MB = 1
+"""Provisioned retransmission buffer per node (1 MB, abundant margin)."""
+
+TIMING_MARGIN_PERIODS = 0.42
+"""The switch tolerates up to 0.42T change in any routing-bit length in the
+presence of 10% gate variation and 1 ps waveguide variation (Sec. IV-F)."""
+
+GATE_DELAY_VARIATION_FRACTION = 0.10
+"""10% variation considered on TL gate delay and rise/fall time."""
+
+WAVEGUIDE_DELAY_VARIATION_PS = 1.0
+"""1 ps variation considered on waveguide delay elements."""
+
+JITTER_VARIANCE_PS2 = 1.53
+"""Timing jitter per signal transition: Gaussian, mu=0, variance 1.53
+(Sec. IV-F)."""
+
+TARGET_ERROR_PROBABILITY = 1e-9
+"""Design-margin target error probability (Sec. IV-F)."""
+
+# --------------------------------------------------------------------------
+# Table VI / Sec. V-A: network simulation parameters
+# --------------------------------------------------------------------------
+
+PACKET_SIZE_BYTES = 512
+"""Packet size used in all simulations (Sec. V-A, per [53])."""
+
+LINK_DATA_RATE_GBPS = 25.0
+"""Link data rate: 25 Gbps, the max per-lane rate in current standards."""
+
+BALDUR_LINK_DELAY_NS = 100.0
+"""Baldur host-to-network and network-to-host link delay (Table VI)."""
+
+BALDUR_MULTIPLICITY = 4
+"""Baldur configuration evaluated in Sec. V (Table VI)."""
+
+ELECTRICAL_SWITCH_LATENCY_NS = 90.0
+"""Electrical switch latency (90 ns, Mellanox SB7700 [54], Table VI)."""
+
+ELECTRICAL_BUFFER_PER_PORT_KB = 24
+"""Electrical switch buffering (24 KB per port, Table VI)."""
+
+ELECTRICAL_VIRTUAL_CHANNELS = 3
+"""Electrical switch virtual channels (Table VI)."""
+
+MULTIBUTTERFLY_LINK_DELAY_NS = 100.0
+"""Electrical multi-butterfly link delay (Table VI)."""
+
+DRAGONFLY_INTRA_GROUP_DELAY_NS = 10.0
+"""Dragonfly intra-group link delay (Table VI)."""
+
+DRAGONFLY_INTER_GROUP_DELAY_NS = 100.0
+"""Dragonfly inter-group (global) link delay (Table VI)."""
+
+FATTREE_LEVEL_DELAYS_NS = (10.0, 50.0, 100.0)
+"""Fat-tree link delay per level: level1 10 ns, level2 50 ns, level3 100 ns."""
+
+IDEAL_PACKET_LATENCY_NS = 200.0
+"""The ideal network: infinite bandwidth, flat 200 ns latency (Table VI)."""
+
+PACKETS_PER_NODE = 10_000
+"""Paper methodology: each node injects 10,000 packets per experiment."""
+
+HEAVY_INPUT_LOAD = 0.7
+"""The 'heavy' load highlighted throughout Sec. V."""
+
+# --------------------------------------------------------------------------
+# Sec. VI-A: power components
+# --------------------------------------------------------------------------
+
+TRANSCEIVER_POWER_W = 1.5
+"""Cisco SFP28 optical transceiver module power [58]."""
+
+SERDES_POWER_W = 0.693
+"""SerDes unit power (32 nm SOI transceiver [59])."""
+
+RETX_BUFFER_POWER_W_PER_MB = 0.741
+"""Retransmission buffer power: 0.741 W per 1 MB [60]; Baldur only."""
+
+ELECTRICAL_TO_TL_SWITCH_POWER_RATIO = 96.6
+"""An electrical 2x2 switch (m=4, incl. its per-port transceivers/SerDes)
+consumes 96.6X more power than the TL switch (Sec. VI-A.2 / abstract)."""
+
+EMB_POWER_PER_NODE_1K_W = 223.5
+"""Electrical multi-butterfly power per node at 1,024 nodes (Sec. II-A)."""
+
+EMB_OEO_SERDES_FRACTION = 0.417
+"""41.7% of eMB power is O-E/E-O conversions and SerDes (Sec. II-A)."""
+
+EMB_TO_FATTREE_POWER_RATIO_1K = 6.0
+"""eMB consumes 6X more power per node than fat-tree at 1,024 nodes."""
+
+FATTREE_128K_POWER_GROWTH = 6.4
+"""A 128K-node fat-tree from 80-radix switches consumes 6.4X more power per
+node than a 1,024-node fat-tree from 16-radix switches (Sec. II-A)."""
+
+DRAGONFLY_OPTICAL_INTRA_GROUP_THRESHOLD = 83_000
+"""From ~83K nodes, dragonfly intra-group links become optical (Sec. VI-A)."""
+
+POWER_GROWTH_1K_TO_1M = {
+    "baldur": 1.7,
+    "dragonfly": 7.8,
+    "fattree": 9.0,
+    "multibutterfly": 2.0,
+}
+"""Per-node power growth from the 1K-2K scale to the 1M-1.4M scale (Fig. 8)."""
+
+BALDUR_POWER_ADVANTAGE_1K = (3.2, 26.4)
+"""Baldur power improvement range vs. other networks at 1K-2K (Fig. 8)."""
+
+BALDUR_POWER_ADVANTAGE_1M = (14.6, 31.0)
+"""Baldur power improvement range vs. other networks at 1M-1.4M (Fig. 8)."""
+
+SENSITIVITY_PESSIMISTIC_RATIOS = {
+    "dragonfly": 5.1, "fattree": 8.2, "multibutterfly": 14.7,
+}
+"""Fig. 9 pessimistic case (electrical 0.5X, optical 2X): Baldur advantage."""
+
+MAX_PRACTICAL_RADIX = 64
+"""It is not practical to build a single >64-radix switch (Sec. II-A)."""
+
+FATTREE_MAX_NODES = 66_000
+"""Fat-tree scalability limit at radix <= 64 (Sec. II-A / Table I)."""
+
+DRAGONFLY_MAX_NODES = 263_000
+"""Dragonfly scalability limit at radix <= 64 (Sec. II-A / Table I)."""
+
+AWGR_MAX_NODES = 128_000
+"""AWGR-network scalability limit using 32-radix AWGRs (Sec. II-A)."""
+
+# --------------------------------------------------------------------------
+# Sec. VII: AWGR comparison at the 32-node scale
+# --------------------------------------------------------------------------
+
+AWGR_RADIX = 32
+"""The comparison AWGR network uses a 32-radix AWGR."""
+
+AWGR_WAVELENGTHS_USED = 3
+"""Up to 3 packets per output port in parallel using 3 wavelengths."""
+
+BALDUR_32NODE_POWER_PER_NODE_W = 0.7
+"""Baldur power per node at 32 nodes, excluding host transceivers/SerDes."""
+
+AWGR_32NODE_POWER_PER_NODE_W = 4.2
+"""AWGR network power per node at 32 nodes, same exclusions (Sec. VII)."""
+
+# --------------------------------------------------------------------------
+# Sec. IV-G / VI-B: packaging and cost
+# --------------------------------------------------------------------------
+
+PCB_WIDTH_CM = 60.96
+"""Standard PCB width (Sec. IV-G)."""
+
+PCB_HEIGHT_CM = 45.72
+"""Standard PCB height (Sec. IV-G)."""
+
+INTERPOSER_WIDTH_MM = 32.0
+"""Optical interposer width (Sec. IV-G)."""
+
+INTERPOSER_HEIGHT_MM = 10.0
+"""Optical interposer height (Sec. IV-G)."""
+
+FIBER_PITCH_UM = 127.0
+"""Fiber array unit pitch (Corning FAU datasheet [50])."""
+
+CABINET_POWER_LIMIT_KW = 85.0
+"""No more than 85 kW per cabinet (Cray XC series [1])."""
+
+CABINETS_AT_1K = 1
+"""Baldur fits in a single cabinet at the 1,024-node scale (Sec. IV-G)."""
+
+CABINETS_AT_1M = 752
+"""752 cabinets at the 1M-node scale under the fiber-pitch constraint."""
+
+CABINETS_AT_1M_POWER_ONLY = 176
+"""Only 176 cabinets would be needed if 85 kW were the only constraint."""
+
+CABINET_FRACTION_AT_1M = 0.032
+"""752 cabinets is 3.2% of the total number of cabinets at 1M nodes."""
+
+TL_AREA_FRACTION_OF_INTERPOSER = 0.10
+"""TL gates occupy <10% of interposer area at 1K nodes, m=4 (Sec. IV-G)."""
+
+BALDUR_COST_PER_NODE_1K_USD = 523.0
+"""Baldur cost per node at the 1K-2K scale (Sec. VI-B)."""
+
+FATTREE_COST_PER_NODE_USD = 1992.0
+"""Fat-tree (2,560 nodes) cost per node [17], [63] (Sec. VI-B)."""
+
+OCS_COST_PER_NODE_USD = 1719.0
+"""MEMS OCS cost per node at a few thousand nodes [63] (Sec. VII)."""
+
+INTERPOSER_COST_MULTIPLIER_VS_CMOS = 5.0
+"""Pessimistic assumption: optical interposers cost 5X CMOS chips of the same
+area (Sec. VI-B)."""
+
+# --------------------------------------------------------------------------
+# Derived timing helpers
+# --------------------------------------------------------------------------
+
+
+def bit_period_ns(data_rate_gbps: float = LINK_DATA_RATE_GBPS) -> float:
+    """Return the bit period T (in ns) for a given line rate in Gbps.
+
+    At the 25 Gbps link rate used in Sec. V, T = 0.04 ns; at the 60 Gbps TL
+    gate rate used inside switches (Table IV), T = 0.0167 ns.
+    """
+    return 1.0 / data_rate_gbps
+
+
+def packet_serialization_ns(
+    payload_bytes: int = PACKET_SIZE_BYTES,
+    data_rate_gbps: float = LINK_DATA_RATE_GBPS,
+    encoding_overhead: float = 10.0 / 8.0,
+) -> float:
+    """Serialization time of a packet whose payload uses 8b/10b encoding.
+
+    ``encoding_overhead`` defaults to the 10/8 expansion of 8b/10b.
+    """
+    bits_on_wire = payload_bytes * 8 * encoding_overhead
+    return bits_on_wire * bit_period_ns(data_rate_gbps)

@@ -1,0 +1,21 @@
+"""Baldur: the paper's primary contribution (Sec. IV)."""
+
+from repro.core.baldur_network import BaldurNetwork
+from repro.core.diagnosis import probe_outcomes, run_diagnosis
+from repro.core.drop_model import WORST_CASE_PATTERNS, one_shot_drop_rate
+from repro.core.multiplicity import (
+    drop_rate_table,
+    multiplicity_for_scale,
+    required_multiplicity,
+)
+
+__all__ = [
+    "BaldurNetwork",
+    "probe_outcomes",
+    "run_diagnosis",
+    "WORST_CASE_PATTERNS",
+    "one_shot_drop_rate",
+    "drop_rate_table",
+    "multiplicity_for_scale",
+    "required_multiplicity",
+]

@@ -1,0 +1,337 @@
+"""The Baldur all-optical network simulator (Sec. IV/V).
+
+Bufferless, clock-less multi-butterfly of 2x2 TL switches:
+
+* **Cut-through streaming** -- a packet's head traverses one stage per
+  switch latency (1.5 ns at multiplicity 4, Table V); each traversed output
+  port is occupied for the packet's full serialization time.
+* **Drops** -- if none of the m output ports of the routing direction is
+  free when the header arrives, the packet is dropped on the spot (there
+  are no optical buffers).
+* **Path multiplicity + randomness** -- a free port is chosen uniformly at
+  random among the free ports of the direction; the randomized inter-stage
+  wiring provides expansion [14], [19].
+* **Retransmission** -- receivers return ACK packets through the network
+  (ACKs contend and drop like any packet).  A transmitter that misses the
+  ACK within its local timeout retransmits after a binary-exponential-
+  backoff delay [48], keeping unACKed packets in a per-node retransmission
+  buffer whose peak occupancy is tracked (the 536 KB observation of
+  Sec. IV-E).
+
+Latency results account for all drop/retransmission overheads (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro import constants as C
+from repro.errors import ConfigurationError
+from repro.netsim.network import NetworkSimulator
+from repro.netsim.packet import ACK_SIZE_BYTES, Packet
+from repro.sim.rand import stream
+from repro.tl.switch_circuit import switch_model
+from repro.topology.butterfly import MultiButterflyTopology
+
+__all__ = ["BaldurNetwork"]
+
+DEFAULT_TIMEOUT_NS = 3000.0
+"""Retransmission timeout: comfortably above the unloaded data+ACK RTT
+(~700 ns) so only real drops trigger retransmission."""
+
+BEB_SLOT_NS = 200.0
+"""Binary exponential backoff slot."""
+
+DEFAULT_MAX_ATTEMPTS = 64
+"""Give-up bound; with sub-percent drop rates this is never reached."""
+
+ACK_COALESCE_WINDOW_NS = 50.0
+"""Traffic-combining window: deliveries from the same source arriving
+within this window share one ACK (Sec. VIII extension)."""
+
+
+class BaldurNetwork(NetworkSimulator):
+    """Packet simulator for Baldur."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        multiplicity: int = C.BALDUR_MULTIPLICITY,
+        seed: int = 0,
+        link_delay_ns: float = C.BALDUR_LINK_DELAY_NS,
+        timeout_ns: float = DEFAULT_TIMEOUT_NS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        enable_retransmission: bool = True,
+        topology=None,
+        packet_filter=None,
+        ack_coalescing: bool = False,
+        ack_coalesce_window_ns: float = ACK_COALESCE_WINDOW_NS,
+        link_rate_gbps: float = C.LINK_DATA_RATE_GBPS,
+    ):
+        """Build a Baldur network.
+
+        ``topology`` accepts any multi-stage topology exposing the
+        multi-butterfly interface (``n_stages``, ``switches_per_stage``,
+        ``entry_switch``, ``routing_bit``, ``next_switches``,
+        ``is_last_stage``); by default a randomized multi-butterfly is
+        constructed.  ``packet_filter`` enables the in-network security
+        filtering of Sec. VIII (a predicate dropping matching packets at
+        the first stage); ``ack_coalescing`` enables the traffic-combining
+        extension (one ACK acknowledges every delivery it covers).
+        """
+        super().__init__(n_nodes)
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        self.topology = topology or MultiButterflyTopology(
+            n_nodes, multiplicity, seed
+        )
+        if self.topology.n_nodes != n_nodes:
+            raise ConfigurationError(
+                "topology node count does not match the network"
+            )
+        self.multiplicity = multiplicity
+        self.link_delay_ns = link_delay_ns
+        self.link_rate_gbps = link_rate_gbps
+        self.switch_latency_ns = switch_model(multiplicity).latency_ns
+        self.timeout_ns = timeout_ns
+        self.max_attempts = max_attempts
+        self.enable_retransmission = enable_retransmission
+        self._rng = stream(seed, "baldur-arbitration")
+        self._beb_rng = stream(seed, "baldur-beb")
+
+        # Port occupancy: _busy[(stage * sps + switch) * 2 + bit][k] is the
+        # time until which physical port k of that (switch, direction) is
+        # occupied by a streaming packet.
+        sps = self.topology.switches_per_stage
+        self._busy: List[List[float]] = [
+            [0.0] * multiplicity
+            for _ in range(self.topology.n_stages * sps * 2)
+        ]
+        # Host NICs serialize injections (data and ACKs share the NIC).
+        self._nic_free_at = [0.0] * n_nodes
+        # Retransmission state.
+        self._pending: Dict[int, Packet] = {}
+        self._delivered_pids: Set[int] = set()
+        self._retx_buffer_bytes = [0] * n_nodes
+        self.peak_retx_buffer_bytes = [0] * n_nodes
+        self.lost_packets = 0
+        # Extensions and diagnosis support.
+        self.packet_filter = packet_filter
+        self.ack_coalescing = ack_coalescing
+        self.ack_coalesce_window_ns = ack_coalesce_window_ns
+        self.filtered_packets = 0
+        self.acks_sent = 0
+        self._pending_ack_covers: Dict[int, List[int]] = {}
+        self.faulty_switches: Set[tuple] = set()
+        self.test_port: Optional[int] = None
+        self.record_paths = False
+        self.paths: Dict[int, List[int]] = {}
+
+    # -- fault injection and diagnosis support (Sec. IV-F) ------------------
+
+    def inject_fault(self, stage: int, switch: int) -> None:
+        """Mark a 2x2 switch as faulty: it drops every packet it sees."""
+        if not 0 <= stage < self.topology.n_stages:
+            raise ConfigurationError(f"stage {stage} out of range")
+        if not 0 <= switch < self.topology.switches_per_stage:
+            raise ConfigurationError(f"switch {switch} out of range")
+        self.faulty_switches.add((stage, switch))
+
+    def enable_test_mode(self, port: int = 0) -> None:
+        """Diagnosis test mode (Sec. IV-F): test signals block all output
+        ports except ``port`` in every switch, making routing deterministic
+        even at multiplicity > 1."""
+        if not 0 <= port < self.multiplicity:
+            raise ConfigurationError(
+                f"test port {port} out of range [0, {self.multiplicity})"
+            )
+        self.test_port = port
+
+    def flat_switch_id(self, stage: int, switch: int) -> int:
+        """Flat id used in recorded paths."""
+        return stage * self.topology.switches_per_stage + switch
+
+    # -- injection -----------------------------------------------------------
+
+    def _inject(self, packet: Packet) -> None:
+        if self.packet_filter is not None and self.packet_filter(packet):
+            # In-network filtering (Sec. VIII): the first-stage switch
+            # blocks the packet; no retransmission state is created.
+            self.filtered_packets += 1
+            return
+        if self.enable_retransmission and not packet.is_ack:
+            self._pending[packet.pid] = packet
+            self._retx_buffer_bytes[packet.src] += packet.size_bytes
+            peak = self._retx_buffer_bytes[packet.src]
+            if peak > self.peak_retx_buffer_bytes[packet.src]:
+                self.peak_retx_buffer_bytes[packet.src] = peak
+        self._transmit(packet, attempt=1)
+
+    def _transmit(self, packet: Packet, attempt: int) -> None:
+        """Serialize onto the source NIC and launch into stage 0."""
+        now = self.env.now
+        start = max(now, self._nic_free_at[packet.src])
+        tx = packet.serialization_time_ns(self.link_rate_gbps)
+        self._nic_free_at[packet.src] = start + tx
+        entry = self.topology.entry_switch(packet.src)
+        self.env.schedule_at(
+            start + self.link_delay_ns,
+            self._arrive_stage,
+            packet,
+            0,
+            entry,
+        )
+        if (
+            self.enable_retransmission
+            and not packet.is_ack
+            and attempt <= self.max_attempts
+        ):
+            self.env.schedule_at(
+                start + self.timeout_ns, self._check_timeout, packet, attempt
+            )
+
+    # -- switch traversal ---------------------------------------------------------
+
+    def _arrive_stage(self, packet: Packet, stage: int, switch: int) -> None:
+        """Packet header reaches (stage, switch): arbitrate and forward."""
+        now = self.env.now
+        topo = self.topology
+        if self.record_paths:
+            self.paths.setdefault(packet.pid, []).append(
+                self.flat_switch_id(stage, switch)
+            )
+        if (stage, switch) in self.faulty_switches:
+            packet.dropped = True
+            self.stats.record_drop(is_ack=packet.is_ack)
+            return
+        bit = topo.routing_bit(packet.dst, stage)
+        ports = self._busy[
+            (stage * topo.switches_per_stage + switch) * 2 + bit
+        ]
+        if self.test_port is not None:
+            free = [self.test_port] if ports[self.test_port] <= now else []
+        else:
+            free = [k for k in range(self.multiplicity) if ports[k] <= now]
+        if not free:
+            packet.dropped = True
+            self.stats.record_drop(is_ack=packet.is_ack)
+            return
+        k = free[self._rng.randrange(len(free))] if len(free) > 1 else free[0]
+        ports[k] = now + packet.serialization_time_ns(self.link_rate_gbps)
+        packet.hops += 1
+        target = topo.next_switches(stage, switch, bit)[k]
+        if topo.is_last_stage(stage):
+            # Head exits to the host link; last byte lands after tx time.
+            self.env.schedule(
+                self.switch_latency_ns
+                + self.link_delay_ns
+                + packet.serialization_time_ns(self.link_rate_gbps),
+                self._deliver,
+                packet,
+            )
+        else:
+            self.env.schedule(
+                self.switch_latency_ns,
+                self._arrive_stage,
+                packet,
+                stage + 1,
+                target,
+            )
+
+    # -- delivery and acknowledgements ------------------------------------------------
+
+    def _deliver(self, packet: Packet) -> None:
+        now = self.env.now
+        if packet.is_ack:
+            self._handle_ack(packet)
+            return
+        if packet.pid not in self._delivered_pids:
+            self._delivered_pids.add(packet.pid)
+            packet.deliver_time = now
+            self._on_delivered(packet, now)
+        # ACK every arrival (duplicates re-ACK in case the ACK was lost).
+        if self.enable_retransmission:
+            if self.ack_coalescing:
+                self._coalesce_ack(packet, now)
+            else:
+                self._send_ack(packet.dst, packet.src, (packet.pid,), now)
+
+    def _send_ack(self, src: int, dst: int, covered, now: float) -> None:
+        ack = Packet(
+            pid=self._alloc_pid(),
+            src=src,
+            dst=dst,
+            size_bytes=ACK_SIZE_BYTES,
+            create_time=now,
+            is_ack=True,
+            acked_pid=tuple(covered),
+        )
+        if self.packet_filter is not None and self.packet_filter(ack):
+            self.filtered_packets += 1
+            return
+        self.acks_sent += 1
+        self._transmit(ack, attempt=1)
+
+    def _coalesce_ack(self, packet: Packet, now: float) -> None:
+        """Traffic-combining extension (Sec. VIII): deliveries from the
+        same source within a short window share one ACK."""
+        key = packet.dst * self.n_nodes + packet.src
+        covers = self._pending_ack_covers.get(key)
+        if covers is not None:
+            covers.append(packet.pid)
+            return
+        self._pending_ack_covers[key] = [packet.pid]
+
+        def flush() -> None:
+            covered = self._pending_ack_covers.pop(key, [])
+            if covered:
+                self._send_ack(
+                    packet.dst, packet.src, covered, self.env.now
+                )
+
+        self.env.schedule(self.ack_coalesce_window_ns, flush)
+
+    def _handle_ack(self, ack: Packet) -> None:
+        covered = (
+            ack.acked_pid
+            if isinstance(ack.acked_pid, tuple)
+            else (ack.acked_pid,)
+        )
+        for pid in covered:
+            data = self._pending.pop(pid, None)
+            if data is not None:
+                self._retx_buffer_bytes[data.src] -= data.size_bytes
+
+    # -- timeouts and backoff ---------------------------------------------------------
+
+    def _check_timeout(self, packet: Packet, attempt: int) -> None:
+        if packet.pid not in self._pending:
+            return  # ACKed in the meantime
+        if attempt >= self.max_attempts:
+            self._pending.pop(packet.pid, None)
+            self._retx_buffer_bytes[packet.src] -= packet.size_bytes
+            self.lost_packets += 1
+            return
+        self.stats.record_retransmission()
+        packet.retransmissions += 1
+        backoff = (
+            self._beb_rng.randrange(0, 2 ** min(attempt, 10)) * BEB_SLOT_NS
+        )
+        self.env.schedule(
+            backoff, self._transmit, packet, attempt + 1
+        )
+
+    # -- reporting --------------------------------------------------------------------
+
+    @property
+    def peak_retx_buffer_kb(self) -> float:
+        """Largest per-node retransmission-buffer occupancy seen (KB)."""
+        return max(self.peak_retx_buffer_bytes) / 1024.0
+
+    def describe(self) -> str:
+        """Human-readable configuration summary."""
+        return (
+            f"baldur nodes={self.n_nodes} m={self.multiplicity} "
+            f"stages={self.topology.n_stages} "
+            f"switch_latency={self.switch_latency_ns}ns"
+        )

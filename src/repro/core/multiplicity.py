@@ -1,0 +1,74 @@
+"""Multiplicity selection for a target drop rate (Sec. IV-E).
+
+The paper's rule: given a network scale, find the smallest multiplicity
+whose *worst-case* (one-shot, all-nodes-simultaneous) drop rate stays under
+1% across traffic patterns.  The published outcomes are multiplicity 4 for
+1,024 nodes, 5 for over a million nodes, and 3 for the 32-node AWGR
+comparison (Sec. VII).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro import constants as C
+from repro.core.drop_model import WORST_CASE_PATTERNS, one_shot_drop_rate
+from repro.errors import ConfigurationError
+
+__all__ = ["required_multiplicity", "multiplicity_for_scale"]
+
+
+def required_multiplicity(
+    n_nodes: int,
+    target_drop_rate: float = C.TARGET_DROP_RATE,
+    patterns: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    trials: int = 3,
+    max_multiplicity: int = 8,
+) -> int:
+    """Smallest multiplicity with worst-case drop rate below the target.
+
+    Evaluates :func:`one_shot_drop_rate` for every pattern and takes the
+    worst; raises if even ``max_multiplicity`` is insufficient.
+    """
+    if not 0 < target_drop_rate < 1:
+        raise ConfigurationError("target drop rate must be in (0, 1)")
+    pattern_list = list(patterns or WORST_CASE_PATTERNS)
+    for m in range(1, max_multiplicity + 1):
+        worst = max(
+            one_shot_drop_rate(n_nodes, m, pattern, seed=seed, trials=trials)
+            for pattern in pattern_list
+        )
+        if worst < target_drop_rate:
+            return m
+    raise ConfigurationError(
+        f"no multiplicity <= {max_multiplicity} meets the "
+        f"{target_drop_rate:.0%} target at {n_nodes} nodes"
+    )
+
+
+def multiplicity_for_scale(n_nodes: int) -> int:
+    """The paper's published multiplicity choices by scale (Sec. IV-E/VII).
+
+    <= 64 nodes: 3; up to 8K nodes: 4; larger (through 1M+): 5.  Use
+    :func:`required_multiplicity` to recompute these from the drop model.
+    """
+    if n_nodes <= 64:
+        return C.MULTIPLICITY_FOR_32
+    if n_nodes < 16_384:
+        return C.MULTIPLICITY_FOR_1K
+    return C.MULTIPLICITY_FOR_1M
+
+
+def drop_rate_table(
+    n_nodes: int,
+    multiplicities: Iterable[int] = (1, 2, 3, 4, 5),
+    pattern: str = "transpose",
+    seed: int = 0,
+    trials: int = 3,
+) -> Dict[int, float]:
+    """Worst-case drop rate per multiplicity (the Sec. IV-E sweep)."""
+    return {
+        m: one_shot_drop_rate(n_nodes, m, pattern, seed=seed, trials=trials)
+        for m in multiplicities
+    }

@@ -1,0 +1,17 @@
+"""Deployment cost and packaging models (Sec. IV-G / VI-B)."""
+
+from repro.cost.model import UNIT_COSTS_USD, CostBreakdown, baldur_cost
+from repro.cost.packaging import (
+    PackagingPlan,
+    fibers_per_interposer_edge,
+    plan_packaging,
+)
+
+__all__ = [
+    "UNIT_COSTS_USD",
+    "CostBreakdown",
+    "baldur_cost",
+    "PackagingPlan",
+    "fibers_per_interposer_edge",
+    "plan_packaging",
+]

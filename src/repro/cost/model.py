@@ -1,0 +1,109 @@
+"""Deployment cost model (Sec. VI-B, Fig. 10).
+
+Cost per server node = optical interposers + fibers + FAUs + RFECs +
+optical transceivers, following the accounting of [2], [63].  Interposers
+are pessimistically priced at 5X the cost of CMOS chips of the same area
+(Sec. VI-B) and dominate the total, which is why Baldur's cost stays
+nearly flat with scale.  Unit costs below are calibrated so the 1K-2K
+scale lands at the published 523 USD per node; the fat-tree (1,992 USD)
+and MEMS-OCS (1,719 USD) reference points are published values [63].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import constants as C
+from repro.cost.packaging import plan_packaging
+from repro.errors import ConfigurationError
+
+__all__ = ["CostBreakdown", "baldur_cost", "UNIT_COSTS_USD"]
+
+UNIT_COSTS_USD = {
+    "cmos_per_mm2": 1.5,  # commodity CMOS die cost per mm^2
+    "fiber_segment": 1.0,  # one inter-column fiber in an FAU ribbon
+    "fau": 100.0,  # one fiber array unit [50]
+    "rfec": 500.0,  # one rack-mount fiber enclosure/cassette [51]
+    "transceiver": 30.0,  # host-side optical transceiver
+}
+"""Calibrated unit costs (see module docstring)."""
+
+RFEC_FIBERS = 288
+"""Fibers per rack-mount fiber enclosure (typical cassette capacity)."""
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """USD per server node by component (Fig. 10 bars)."""
+
+    n_nodes: int
+    interposers: float
+    fibers: float
+    faus: float
+    rfecs: float
+    transceivers: float
+
+    @property
+    def total(self) -> float:
+        """Total USD per server node."""
+        return (
+            self.interposers
+            + self.fibers
+            + self.faus
+            + self.rfecs
+            + self.transceivers
+        )
+
+    @property
+    def interposer_fraction(self) -> float:
+        """Interposer share of total cost (the dominant component)."""
+        return self.interposers / self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component dict for table printing."""
+        return {
+            "interposers": self.interposers,
+            "fibers": self.fibers,
+            "faus": self.faus,
+            "rfecs": self.rfecs,
+            "transceivers": self.transceivers,
+            "total": self.total,
+        }
+
+
+def baldur_cost(
+    n_nodes: int, multiplicity: int | None = None
+) -> CostBreakdown:
+    """Cost per node of a Baldur deployment at the given scale."""
+    if n_nodes < 4 or n_nodes & (n_nodes - 1):
+        raise ConfigurationError("node count must be a power of two >= 4")
+    plan = plan_packaging(n_nodes, multiplicity)
+    interposer_mm2 = C.INTERPOSER_WIDTH_MM * C.INTERPOSER_HEIGHT_MM
+    interposer_usd = (
+        interposer_mm2
+        * UNIT_COSTS_USD["cmos_per_mm2"]
+        * C.INTERPOSER_COST_MULTIPLIER_VS_CMOS
+    )
+
+    interposers = plan.total_interposers * interposer_usd / n_nodes
+    # Fiber segments: inter-column ribbons plus host in/out fibers.
+    fiber_count = plan.fibers_per_column_gap * (plan.stages - 1) + 2 * n_nodes
+    fibers = fiber_count * UNIT_COSTS_USD["fiber_segment"] / n_nodes
+    # FAUs: one per interposer edge per column gap (both sides).
+    fau_count = 2 * plan.interposers_per_column * (plan.stages - 1)
+    faus = fau_count * UNIT_COSTS_USD["fau"] / n_nodes
+    # RFECs: host fibers (2 per node) bundled into enclosures.
+    rfec_count = math.ceil(2 * n_nodes / RFEC_FIBERS)
+    rfecs = rfec_count * UNIT_COSTS_USD["rfec"] / n_nodes
+    transceivers = 2 * UNIT_COSTS_USD["transceiver"]
+
+    return CostBreakdown(
+        n_nodes=n_nodes,
+        interposers=interposers,
+        fibers=fibers,
+        faus=faus,
+        rfecs=rfecs,
+        transceivers=transceivers,
+    )

@@ -1,0 +1,13 @@
+"""Electrical baseline network simulators (Table VI configurations)."""
+
+from repro.electrical.dragonfly_net import DragonflyNetwork
+from repro.electrical.fattree_net import FatTreeNetwork
+from repro.electrical.ideal_net import IdealNetwork
+from repro.electrical.multibutterfly import MultiButterflyNetwork
+
+__all__ = [
+    "DragonflyNetwork",
+    "FatTreeNetwork",
+    "IdealNetwork",
+    "MultiButterflyNetwork",
+]

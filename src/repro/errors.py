@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is misused (e.g. scheduling an
+    event in the past, or re-triggering an already-triggered event)."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology parameters (e.g. a node count that is not
+    a power of two for a butterfly, or a radix that is not constructible)."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed gate-level netlists (dangling wires, fan-in
+    violations, combinational loops without latches)."""
+
+
+class EncodingError(ReproError):
+    """Raised when a length-encoded optical waveform cannot be decoded."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or model configuration values."""

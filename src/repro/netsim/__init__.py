@@ -1,0 +1,18 @@
+"""Packet-level network simulation substrate (CODES-equivalent)."""
+
+from repro.netsim.network import NetworkSimulator
+from repro.netsim.packet import ACK_SIZE_BYTES, Packet
+from repro.netsim.stats import LatencyStats, geomean
+from repro.netsim.switch import Host, OutputPort, Switch, VCBuffer
+
+__all__ = [
+    "ACK_SIZE_BYTES",
+    "Packet",
+    "LatencyStats",
+    "geomean",
+    "Host",
+    "OutputPort",
+    "Switch",
+    "VCBuffer",
+    "NetworkSimulator",
+]

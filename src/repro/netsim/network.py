@@ -1,0 +1,99 @@
+"""Uniform network-simulator driver shared by Baldur and the baselines.
+
+Every network exposes the same API:
+
+* :meth:`NetworkSimulator.submit` -- inject a message at a given time;
+* :meth:`NetworkSimulator.run` -- advance the simulation;
+* ``stats`` -- a :class:`~repro.netsim.stats.LatencyStats`;
+* ``receive_hook`` -- optional callback fired on each delivery (used by
+  closed-loop workloads like ping_pong).
+
+Open-loop experiments pre-schedule all messages; closed-loop experiments
+submit from inside the hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import constants as C
+from repro.errors import ConfigurationError
+from repro.netsim.packet import Packet
+from repro.netsim.stats import LatencyStats
+from repro.sim import Environment
+
+__all__ = ["NetworkSimulator"]
+
+
+class NetworkSimulator:
+    """Base class: clock, stats, packet-id allocation, delivery plumbing."""
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 2:
+            raise ConfigurationError("a network needs at least 2 nodes")
+        self.n_nodes = n_nodes
+        self.env = Environment()
+        self.stats = LatencyStats()
+        self.receive_hook: Optional[Callable[[Packet, float], None]] = None
+        self._next_pid = 0
+
+    # -- message injection ------------------------------------------------------
+
+    def submit(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: int = C.PACKET_SIZE_BYTES,
+        time: float = 0.0,
+    ) -> Packet:
+        """Create a packet from ``src`` to ``dst`` at ``time`` and inject it.
+
+        Injection is scheduled, so :meth:`submit` may be called before
+        :meth:`run` (open loop) or from a delivery hook (closed loop).
+        """
+        self._validate_endpoints(src, dst)
+        packet = Packet(
+            pid=self._alloc_pid(),
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            create_time=time,
+        )
+        self.stats.record_injection()
+        if time < self.env.now:
+            raise ConfigurationError(
+                f"cannot submit in the past: t={time} < now={self.env.now}"
+            )
+        self.env.schedule_at(time, self._inject, packet)
+        return packet
+
+    def _validate_endpoints(self, src: int, dst: int) -> None:
+        if not 0 <= src < self.n_nodes or not 0 <= dst < self.n_nodes:
+            raise ConfigurationError(
+                f"endpoints ({src}, {dst}) out of range [0, {self.n_nodes})"
+            )
+        if src == dst:
+            raise ConfigurationError("src and dst must differ")
+
+    def _alloc_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def _inject(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- delivery ---------------------------------------------------------------
+
+    def _on_delivered(self, packet: Packet, time: float) -> None:
+        """Record the delivery and fire the closed-loop hook."""
+        self.stats.record_delivery(time - packet.create_time)
+        if self.receive_hook is not None:
+            self.receive_hook(packet, time)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> LatencyStats:
+        """Run to completion (or to ``until`` ns) and return the stats."""
+        self.env.run(until=until)
+        return self.stats

@@ -1,0 +1,84 @@
+"""Network packets and their lifecycle bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import constants as C
+
+__all__ = ["Packet", "ACK_SIZE_BYTES"]
+
+ACK_SIZE_BYTES = 64
+"""Size of a Baldur acknowledgement packet (header + CRC; Sec. IV-E)."""
+
+
+class Packet:
+    """One network packet.
+
+    ``create_time`` is when the message was generated at the source (the
+    latency clock starts here, so source queueing counts); ``deliver_time``
+    is when the last byte reached the destination host.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "size_bytes",
+        "create_time",
+        "inject_time",
+        "deliver_time",
+        "hops",
+        "retransmissions",
+        "is_ack",
+        "acked_pid",
+        "vc",
+        "dropped",
+        "plan_ports",
+        "plan_vcs",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src: int,
+        dst: int,
+        size_bytes: int = C.PACKET_SIZE_BYTES,
+        create_time: float = 0.0,
+        is_ack: bool = False,
+        acked_pid: Optional[int] = None,
+    ):
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.create_time = create_time
+        self.inject_time: Optional[float] = None
+        self.deliver_time: Optional[float] = None
+        self.hops = 0
+        self.retransmissions = 0
+        self.is_ack = is_ack
+        self.acked_pid = acked_pid
+        self.vc = 0
+        self.dropped = False
+        # Source-routed plan (used by dragonfly UGAL): per-hop output port
+        # indices and the VC to switch to after each hop.
+        self.plan_ports: Optional[list] = None
+        self.plan_vcs: Optional[list] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency (None until delivered)."""
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.create_time
+
+    def serialization_time_ns(
+        self, rate_gbps: float = C.LINK_DATA_RATE_GBPS
+    ) -> float:
+        """Wire time of this packet (8b/10b expansion included)."""
+        return C.packet_serialization_ns(self.size_bytes, rate_gbps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ack" if self.is_ack else "pkt"
+        return f"<{kind} {self.pid} {self.src}->{self.dst}>"

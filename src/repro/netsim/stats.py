@@ -1,0 +1,104 @@
+"""Latency and delivery statistics collection (Sec. V-B metrics)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["LatencyStats", "geomean"]
+
+
+class LatencyStats:
+    """Accumulates per-packet latencies and drop/retransmission counts.
+
+    Reports the two metrics the paper plots: average packet latency and
+    tail (99th-percentile) packet latency, plus drop-rate bookkeeping for
+    Table V.
+    """
+
+    def __init__(self):
+        self.latencies: List[float] = []
+        self.injected = 0
+        self.delivered = 0
+        self.drops = 0
+        self.retransmissions = 0
+        self.ack_drops = 0
+
+    def record_injection(self) -> None:
+        """Count one first-attempt packet injection."""
+        self.injected += 1
+
+    def record_delivery(self, latency: float) -> None:
+        """Count one delivered packet with its end-to-end latency."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.delivered += 1
+        self.latencies.append(latency)
+
+    def record_drop(self, is_ack: bool = False) -> None:
+        """Count one in-network packet drop."""
+        if is_ack:
+            self.ack_drops += 1
+        else:
+            self.drops += 1
+
+    def record_retransmission(self) -> None:
+        """Count one retransmission attempt."""
+        self.retransmissions += 1
+
+    @property
+    def average_latency(self) -> float:
+        """Mean end-to-end latency over delivered packets."""
+        if not self.latencies:
+            return float("nan")
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def tail_latency(self) -> float:
+        """99th-percentile end-to-end latency (the paper's 'tail')."""
+        return self.percentile(99.0)
+
+    def percentile(self, pct: float) -> float:
+        """Latency percentile using nearest-rank on the sorted sample."""
+        if not self.latencies:
+            return float("nan")
+        if not 0 < pct <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {pct}")
+        ordered = sorted(self.latencies)
+        rank = max(0, math.ceil(pct / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped data packets / total data-packet transmission attempts."""
+        attempts = self.injected + self.retransmissions
+        if attempts == 0:
+            return 0.0
+        return self.drops / attempts
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / injected (should be 1.0 once retransmission works)."""
+        if self.injected == 0:
+            return float("nan")
+        return self.delivered / self.injected
+
+    def summary(self) -> Dict[str, float]:
+        """A dict of the headline metrics."""
+        return {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "avg_latency_ns": self.average_latency,
+            "tail_latency_ns": self.tail_latency,
+            "drop_rate": self.drop_rate,
+            "retransmissions": self.retransmissions,
+        }
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (used for Fig. 7 cross-workload summaries)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

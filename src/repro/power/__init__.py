@@ -1,0 +1,53 @@
+"""Network power models (Sec. VI-A): calibration, rollups, sensitivity."""
+
+from repro.power.awgr import (
+    AWGRPowerModel,
+    awgr_comparison,
+    baldur_switch_power_per_node,
+)
+from repro.power.calibration import (
+    ELECTRICAL_END_W,
+    K_INTERNAL_W,
+    OPTICAL_END_W,
+    electrical_2x2_switch_power_w,
+    electrical_internal_power_w,
+    tl_switch_power_w,
+)
+from repro.power.network_power import (
+    FIG8_SCALES,
+    NETWORK_POWER_MODELS,
+    PowerBreakdown,
+    baldur_power,
+    dragonfly_power,
+    fattree_power,
+    multibutterfly_power,
+    power_scaling_sweep,
+)
+from repro.power.sensitivity import (
+    SENSITIVITY_CASES,
+    scaled_power,
+    sensitivity_ratios,
+)
+
+__all__ = [
+    "AWGRPowerModel",
+    "awgr_comparison",
+    "baldur_switch_power_per_node",
+    "ELECTRICAL_END_W",
+    "K_INTERNAL_W",
+    "OPTICAL_END_W",
+    "electrical_2x2_switch_power_w",
+    "electrical_internal_power_w",
+    "tl_switch_power_w",
+    "FIG8_SCALES",
+    "NETWORK_POWER_MODELS",
+    "PowerBreakdown",
+    "baldur_power",
+    "dragonfly_power",
+    "fattree_power",
+    "multibutterfly_power",
+    "power_scaling_sweep",
+    "SENSITIVITY_CASES",
+    "scaled_power",
+    "sensitivity_ratios",
+]

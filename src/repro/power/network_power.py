@@ -1,0 +1,195 @@
+"""Per-topology network power rollups and the Fig. 8 scaling sweep.
+
+Every rollup returns a :class:`PowerBreakdown` (watts per server node,
+split by component) so the benches can print both totals and the
+O-E/E-O/SerDes fractions the paper quotes.  The construction at each scale
+follows Sec. VI-A: every network is re-optimized per scale (dragonfly/
+fat-tree radix grows; Baldur/eMB stage count grows; Baldur multiplicity
+follows the Sec. IV-E rule; dragonfly intra-group links go optical from
+~83K nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro import constants as C
+from repro.core.multiplicity import multiplicity_for_scale
+from repro.errors import ConfigurationError
+from repro.power.calibration import (
+    ELECTRICAL_END_W,
+    OPTICAL_END_W,
+    electrical_internal_power_w,
+    tl_switch_power_w,
+)
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fattree import FatTreeTopology
+
+__all__ = [
+    "PowerBreakdown",
+    "baldur_power",
+    "multibutterfly_power",
+    "fattree_power",
+    "dragonfly_power",
+    "power_scaling_sweep",
+    "NETWORK_POWER_MODELS",
+]
+
+
+@dataclass
+class PowerBreakdown:
+    """Power per server node, in watts, by component."""
+
+    network: str
+    n_nodes: int
+    switch_internal: float = 0.0
+    optical_ends: float = 0.0
+    electrical_ends: float = 0.0
+    retx_buffer: float = 0.0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total watts per server node."""
+        return (
+            self.switch_internal
+            + self.optical_ends
+            + self.electrical_ends
+            + self.retx_buffer
+        )
+
+    @property
+    def oeo_serdes_fraction(self) -> float:
+        """Fraction of power in O-E/E-O conversions + SerDes (Sec. II-A)."""
+        return (self.optical_ends + self.electrical_ends) / self.total
+
+    @property
+    def total_network_watts(self) -> float:
+        """Whole-network power (per-node total x node count)."""
+        return self.total * self.n_nodes
+
+
+def _check_nodes(n_nodes: int) -> None:
+    if n_nodes < 4:
+        raise ConfigurationError("power models need at least 4 nodes")
+
+
+def _stages(n_nodes: int) -> int:
+    if n_nodes & (n_nodes - 1):
+        raise ConfigurationError(
+            "Baldur/multi-butterfly scales must be powers of two"
+        )
+    return n_nodes.bit_length() - 1
+
+
+def baldur_power(n_nodes: int, multiplicity: int | None = None) -> PowerBreakdown:
+    """Baldur power per node: TL switches + host optics + retx buffer.
+
+    Hosts terminate one unidirectional fiber into the network and one out
+    of it; each end carries a transceiver + SerDes.  Switches are pure TL
+    gate power (no buffering, clocking, or per-port transceivers).
+    """
+    _check_nodes(n_nodes)
+    m = multiplicity or multiplicity_for_scale(n_nodes)
+    switches_per_node = _stages(n_nodes) / 2.0
+    return PowerBreakdown(
+        network="baldur",
+        n_nodes=n_nodes,
+        switch_internal=switches_per_node * tl_switch_power_w(m),
+        optical_ends=2 * OPTICAL_END_W,
+        retx_buffer=C.RETX_BUFFER_POWER_W_PER_MB * C.RETX_BUFFER_PROVISIONED_MB,
+        detail={"multiplicity": m, "switches_per_node": switches_per_node},
+    )
+
+
+def multibutterfly_power(
+    n_nodes: int, multiplicity: int = C.BALDUR_MULTIPLICITY
+) -> PowerBreakdown:
+    """Electrical multi-butterfly: buffered radix-2m switches, all-optical
+    links, transceiver+SerDes on every switch port and host NIC."""
+    _check_nodes(n_nodes)
+    switches_per_node = _stages(n_nodes) / 2.0
+    ports = 2 * multiplicity
+    return PowerBreakdown(
+        network="multibutterfly",
+        n_nodes=n_nodes,
+        switch_internal=switches_per_node
+        * electrical_internal_power_w(ports),
+        optical_ends=(switches_per_node * ports + 1) * OPTICAL_END_W,
+        detail={"multiplicity": multiplicity,
+                "switches_per_node": switches_per_node},
+    )
+
+
+def fattree_power(n_nodes: int) -> PowerBreakdown:
+    """3-level fat-tree: radix grows with scale (16 at 1K, 160 at 1M).
+
+    Level-1 (host) links are electrical; level-2/3 links optical.
+    """
+    _check_nodes(n_nodes)
+    topo = FatTreeTopology.for_nodes(n_nodes)
+    switches_per_node = topo.n_switches / topo.n_nodes
+    # Link counts: host-edge k^3/4, edge-agg k^3/4, agg-core k^3/4.
+    links_each = topo.n_nodes
+    optical_ends = 2 * (2 * links_each) / topo.n_nodes  # levels 2 and 3
+    electrical_ends = 2 * links_each / topo.n_nodes  # level 1
+    return PowerBreakdown(
+        network="fattree",
+        n_nodes=topo.n_nodes,
+        switch_internal=switches_per_node
+        * electrical_internal_power_w(topo.radix),
+        optical_ends=optical_ends * OPTICAL_END_W,
+        electrical_ends=electrical_ends * ELECTRICAL_END_W,
+        detail={"k": topo.k, "radix": topo.radix,
+                "switches_per_node": switches_per_node},
+    )
+
+
+def dragonfly_power(n_nodes: int) -> PowerBreakdown:
+    """Dragonfly: radix grows with scale (15 at 1K, 95 at 1M); local links
+    switch from electrical to optical at ~83K nodes (Sec. VI-A)."""
+    _check_nodes(n_nodes)
+    topo = DragonflyTopology.for_nodes(n_nodes)
+    nodes_per_group = topo.p * topo.a
+    local_ends = topo.a * (topo.a - 1) / nodes_per_group
+    global_ends = (topo.a * topo.h) / nodes_per_group
+    terminal_ends = 2.0  # host NIC + router port
+    local_optical = topo.n_nodes >= C.DRAGONFLY_OPTICAL_INTRA_GROUP_THRESHOLD
+    optical = global_ends + (local_ends if local_optical else 0.0)
+    electrical = terminal_ends + (0.0 if local_optical else local_ends)
+    return PowerBreakdown(
+        network="dragonfly",
+        n_nodes=topo.n_nodes,
+        switch_internal=electrical_internal_power_w(topo.radix) / topo.p,
+        optical_ends=optical * OPTICAL_END_W,
+        electrical_ends=electrical * ELECTRICAL_END_W,
+        detail={
+            "p": topo.p,
+            "radix": topo.radix,
+            "local_links_optical": float(local_optical),
+        },
+    )
+
+
+NETWORK_POWER_MODELS = {
+    "baldur": baldur_power,
+    "multibutterfly": multibutterfly_power,
+    "fattree": fattree_power,
+    "dragonfly": dragonfly_power,
+}
+"""The four Fig. 8 networks."""
+
+FIG8_SCALES = (1024, 4096, 16384, 65536, 262144, 1048576)
+"""Node-count scales swept in Fig. 8 (1K-2K through 1M-1.4M; exact node
+counts differ per topology, as the paper notes)."""
+
+
+def power_scaling_sweep(
+    scales: List[int] = list(FIG8_SCALES),
+) -> Dict[str, List[PowerBreakdown]]:
+    """Per-node power for every network at every scale (Fig. 8)."""
+    return {
+        name: [model(scale) for scale in scales]
+        for name, model in NETWORK_POWER_MODELS.items()
+    }

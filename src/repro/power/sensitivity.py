@@ -1,0 +1,57 @@
+"""Sensitivity analysis on switch power (Fig. 9).
+
+The paper scales the power of network switches by 0.5X and 2X (for both
+electrical and optical switches) to bound modelling inaccuracy.  The
+'pessimistic case' for Baldur halves electrical switch power and doubles
+optical (TL) switch power; even there Baldur remains 5.1X / 8.2X / 14.7X
+more power-efficient than dragonfly / fat-tree / eMB at the 1M scale.
+Transceivers and SerDes are not scaled (they are datasheet numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.power.network_power import (
+    NETWORK_POWER_MODELS,
+    PowerBreakdown,
+)
+
+__all__ = ["scaled_power", "sensitivity_ratios", "SENSITIVITY_CASES"]
+
+SENSITIVITY_CASES = {
+    "baseline": (1.0, 1.0),
+    "optimistic": (2.0, 0.5),  # electrical x2, optical x0.5
+    "pessimistic": (0.5, 2.0),  # electrical x0.5, optical x2
+}
+"""(electrical switch factor, optical switch factor) per Fig. 9 case."""
+
+
+def scaled_power(
+    network: str,
+    n_nodes: int,
+    electrical_factor: float,
+    optical_factor: float,
+) -> PowerBreakdown:
+    """Power breakdown with switch-power scaling applied.
+
+    Baldur's switches are optical (TL); every baseline's are electrical.
+    """
+    if network not in NETWORK_POWER_MODELS:
+        raise KeyError(f"unknown network {network!r}")
+    base = NETWORK_POWER_MODELS[network](n_nodes)
+    factor = optical_factor if network == "baldur" else electrical_factor
+    return replace(base, switch_internal=base.switch_internal * factor)
+
+
+def sensitivity_ratios(
+    n_nodes: int = 1_048_576, case: str = "pessimistic"
+) -> Dict[str, float]:
+    """Baldur's power advantage over each baseline under a Fig. 9 case."""
+    elec, opt = SENSITIVITY_CASES[case]
+    baldur = scaled_power("baldur", n_nodes, elec, opt).total
+    return {
+        name: scaled_power(name, n_nodes, elec, opt).total / baldur
+        for name in ("dragonfly", "fattree", "multibutterfly")
+    }

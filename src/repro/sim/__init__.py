@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel (SimPy-style processes + fast callbacks)."""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.rand import derive_seed, numpy_stream, stream
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Store",
+    "derive_seed",
+    "numpy_stream",
+    "stream",
+]

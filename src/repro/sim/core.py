@@ -1,0 +1,355 @@
+"""A small discrete-event simulation kernel.
+
+This is the substrate every simulator in the library runs on.  It offers two
+programming styles:
+
+* **Process style** (SimPy-like): generator functions yield :class:`Timeout`
+  or :class:`Event` objects and are resumed when those events fire.  This is
+  the readable style used by examples and host-side protocol logic.
+* **Callback style**: :meth:`Environment.schedule` runs a plain callable at a
+  future time.  This avoids generator overhead and is used by the hot loops
+  of the packet-level network simulators.
+
+Time is a float; the unit is chosen by the caller (network simulators use
+nanoseconds, the gate-level circuit simulator uses picoseconds).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that has been interrupted via
+    :meth:`Process.interrupt`.  ``cause`` carries the interrupter's payload."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*; calling :meth:`succeed` (or
+    :meth:`fail`) schedules its callbacks to run at the current simulation
+    time.  An event can only be triggered once.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once processed)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload passed to :meth:`succeed` or :meth:`fail`."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._trigger(False, exception)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self.env._schedule_event(self)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        env._schedule_event(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator yields events; the process is resumed with the event's
+    value when it fires (or the event's exception is thrown in).
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator (did you call the function?)"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time.
+        init = Event(env)
+        init.succeed()
+        init.callbacks.append(self._resume)
+        self._waiting_on = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wakeup = Event(self.env)
+        wakeup.fail(Interrupt(cause))
+        wakeup.callbacks.append(self._resume)
+        self._waiting_on = wakeup
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt as exc:
+            # An unhandled Interrupt terminates the process with failure.
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {target!r}"
+            )
+        if target.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            wakeup = Event(self.env)
+            if target.ok:
+                wakeup.succeed(target.value)
+            else:
+                wakeup.fail(target.value)
+            wakeup.callbacks.append(self._resume)
+            self._waiting_on = wakeup
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._on_fire(event)
+                if self._triggered:
+                    break
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _collect(self) -> dict:
+        return {
+            event: event.value
+            for event in self._events
+            if event.processed or event.triggered
+        }
+
+    def _on_fire(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any of the given events fires."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once all of the given events have fired."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- callback style ----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` time units (fast path)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), fn, args)
+        )
+
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: t={when} < now={self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), fn, args))
+
+    # -- process style -----------------------------------------------------
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a process; returns its Process event."""
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any input event fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when every input event has fired."""
+        return AllOf(self, events)
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, next(self._counter), event._process, ()),
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next scheduled item."""
+        when, _, fn, args = heapq.heappop(self._queue)
+        self._now = when
+        fn(*args)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties, or until simulation time ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the queue empties earlier.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = float(until)
+
+    def peek(self) -> float:
+        """Time of the next scheduled item, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def empty(self) -> bool:
+        """True if nothing remains scheduled."""
+        return not self._queue

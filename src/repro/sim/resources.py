@@ -1,0 +1,130 @@
+"""Shared-resource primitives built on the event kernel.
+
+:class:`Resource` models a counted resource with FIFO waiters (e.g. a link a
+host serializes packets onto).  :class:`Store` is an unbounded-or-bounded
+FIFO of Python objects (e.g. a switch input queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with ``capacity`` concurrent users.
+
+    Usage (process style)::
+
+        req = resource.request()
+        yield req
+        ...critical section...
+        resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of users currently holding the resource."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when the resource is acquired."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one unit; wakes the oldest waiter, if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A FIFO store of items with optional bounded capacity.
+
+    ``put`` blocks (its event stays untriggered) when the store is full;
+    ``get`` blocks when it is empty.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """A snapshot of stored items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once inserted."""
+        event = self.env.event()
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove and return the oldest item via the event's value."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+            if self._putters:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        if self._putters:
+            put_event, pending = self._putters.popleft()
+            self._items.append(pending)
+            put_event.succeed()
+        return item

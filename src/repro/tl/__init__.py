@@ -1,0 +1,53 @@
+"""Transistor-laser device, gate, codec, and circuit layer (Sec. III/IV)."""
+
+from repro.tl.circuit import Circuit, Signal
+from repro.tl.device import (
+    TLDeviceParameters,
+    TLGateCharacteristics,
+    characterize_gate,
+)
+from repro.tl.encoding import (
+    OpticalWaveform,
+    decode_packet,
+    decode_routing_bits,
+    encode_packet,
+    encode_routing_bits,
+    length_encoding_overhead,
+)
+from repro.tl.gates import GateBudget, GateType, gate_power_w
+from repro.tl.eye import EyeDiagram, simulate_eye
+from repro.tl.line_detector import LineActivityDetector
+from repro.tl.multi_switch import TLMultiplicitySwitchCircuit
+from repro.tl.reliability import (
+    error_probability,
+    monte_carlo_error_rate,
+    worst_case_margin_periods,
+)
+from repro.tl.switch_circuit import SwitchModel, TLSwitchCircuit, switch_model
+
+__all__ = [
+    "Circuit",
+    "Signal",
+    "TLDeviceParameters",
+    "TLGateCharacteristics",
+    "characterize_gate",
+    "OpticalWaveform",
+    "decode_packet",
+    "decode_routing_bits",
+    "encode_packet",
+    "encode_routing_bits",
+    "length_encoding_overhead",
+    "GateBudget",
+    "GateType",
+    "gate_power_w",
+    "EyeDiagram",
+    "simulate_eye",
+    "LineActivityDetector",
+    "TLMultiplicitySwitchCircuit",
+    "error_probability",
+    "monte_carlo_error_rate",
+    "worst_case_margin_periods",
+    "SwitchModel",
+    "TLSwitchCircuit",
+    "switch_model",
+]

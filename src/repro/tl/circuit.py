@@ -1,0 +1,373 @@
+"""Event-driven gate-level simulator for asynchronous TL optical circuits.
+
+This is the HSPICE substitute used to validate the 2x2 TL switch (Fig. 5).
+Optical signals are modelled as binary light levels on a continuous time
+axis (picoseconds); TL gates re-evaluate when any input toggles and drive
+their output after the Table IV propagation delay.  Because TL gates restore
+optical signal strength (Sec. III), amplitude is abstracted away and only
+timing behaviour is simulated.
+
+Elements mirror :mod:`repro.tl.gates`: active gates (INV/AND/OR/NAND/NOR/
+BUF), the SR latch (two cross-coupled NORs, built structurally), the
+asynchronous mutex used by the arbiter [47], and passive splitters,
+combiners (OR-by-superposition), and waveguide delays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CircuitError
+from repro.sim import Environment
+from repro.tl.device import TLGateCharacteristics, characterize_gate
+from repro.tl.encoding import OpticalWaveform
+from repro.tl.gates import GateBudget, GateType
+
+__all__ = ["Signal", "Circuit"]
+
+
+class Signal:
+    """A named optical signal with a binary level and change listeners."""
+
+    __slots__ = ("name", "level", "_listeners", "_history", "_recording")
+
+    def __init__(self, name: str, level: int = 0):
+        self.name = name
+        self.level = level
+        self._listeners: List[Callable[[float, int], None]] = []
+        self._history: List[Tuple[float, int]] = []
+        self._recording = False
+
+    def listen(self, callback: Callable[[float, int], None]) -> None:
+        """Register ``callback(time, new_level)`` on level changes."""
+        self._listeners.append(callback)
+
+    def record(self) -> None:
+        """Start recording this signal's transitions (for waveforms)."""
+        self._recording = True
+
+    def set(self, time: float, level: int) -> None:
+        """Drive the signal to ``level`` at ``time`` (no-op if unchanged)."""
+        if level == self.level:
+            return
+        self.level = level
+        if self._recording:
+            self._history.append((time, level))
+        for listener in self._listeners:
+            listener(time, level)
+
+    def history(self) -> List[Tuple[float, int]]:
+        """Recorded (time, level) transitions."""
+        return list(self._history)
+
+    def waveform(self) -> OpticalWaveform:
+        """Recorded transitions as an :class:`OpticalWaveform`.
+
+        Assumes the signal started dark and was recorded from t=0.
+        """
+        return OpticalWaveform(tuple(t for t, _ in self._history))
+
+    def rise_times(self) -> List[float]:
+        """Times of recorded 0->1 transitions."""
+        return [t for t, level in self._history if level == 1]
+
+    def fall_times(self) -> List[float]:
+        """Times of recorded 1->0 transitions."""
+        return [t for t, level in self._history if level == 0]
+
+
+class _Gate:
+    """An active TL gate: output = fn(inputs) after the gate delay."""
+
+    __slots__ = ("circuit", "fn", "inputs", "output", "delay")
+
+    def __init__(
+        self,
+        circuit: "Circuit",
+        fn: Callable[..., int],
+        inputs: Sequence[Signal],
+        output: Signal,
+        delay: float,
+    ):
+        self.circuit = circuit
+        self.fn = fn
+        self.inputs = list(inputs)
+        self.output = output
+        self.delay = delay
+        for sig in self.inputs:
+            sig.listen(self._on_input)
+        # Establish the initial output level without delay.
+        output.level = fn(*(s.level for s in self.inputs))
+
+    def _on_input(self, time: float, _level: int) -> None:
+        new = self.fn(*(s.level for s in self.inputs))
+        env = self.circuit.env
+        env.schedule(self.delay, self.output.set, time + self.delay, new)
+
+
+class _Mutex:
+    """Asynchronous 2-way mutual exclusion element (arbiter core, [47]).
+
+    Built physically from a latch and two threshold NOT gates; modelled
+    behaviourally: a grant follows its request after one gate delay, but at
+    most one grant is high at a time; ties go to the lower-indexed request
+    (the metastability resolution is abstracted to a deterministic choice,
+    which keeps simulations reproducible).
+    """
+
+    __slots__ = ("circuit", "requests", "grants", "delay", "_owner")
+
+    def __init__(
+        self,
+        circuit: "Circuit",
+        requests: Sequence[Signal],
+        grants: Sequence[Signal],
+        delay: float,
+    ):
+        if len(requests) != 2 or len(grants) != 2:
+            raise CircuitError("mutex requires exactly 2 requests and grants")
+        self.circuit = circuit
+        self.requests = list(requests)
+        self.grants = list(grants)
+        self.delay = delay
+        self._owner: Optional[int] = None
+        for sig in self.requests:
+            sig.listen(self._on_change)
+
+    def _on_change(self, time: float, _level: int) -> None:
+        env = self.circuit.env
+        levels = [s.level for s in self.requests]
+        if self._owner is not None and not levels[self._owner]:
+            released = self._owner
+            self._owner = None
+            env.schedule(self.delay, self.grants[released].set,
+                         time + self.delay, 0)
+        if self._owner is None:
+            for idx in (0, 1):
+                if levels[idx]:
+                    self._owner = idx
+                    env.schedule(self.delay, self.grants[idx].set,
+                                 time + self.delay, 1)
+                    break
+
+
+class Circuit:
+    """A TL optical circuit: signals + elements + gate budget + clock.
+
+    Time unit is picoseconds.  Build netlists with the ``add_*`` methods,
+    drive primary inputs with :meth:`drive`, then :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        characteristics: Optional[TLGateCharacteristics] = None,
+        max_fanin: int = 2,
+    ):
+        self.env = Environment()
+        self.chars = characteristics or characterize_gate()
+        self.budget = GateBudget(characteristics=self.chars)
+        self.max_fanin = max_fanin
+        self._signals: Dict[str, Signal] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def signal(self, name: str, level: int = 0) -> Signal:
+        """Create (or fetch) a named signal."""
+        if name not in self._signals:
+            self._signals[name] = Signal(name, level)
+        return self._signals[name]
+
+    def _check_fanin(self, inputs: Sequence[Signal], kind: str) -> None:
+        if len(inputs) > self.max_fanin:
+            raise CircuitError(
+                f"{kind} gate fan-in {len(inputs)} exceeds the TL design "
+                f"rule of {self.max_fanin} inputs (Sec. III)"
+            )
+
+    def _add_gate(
+        self,
+        gate_type: GateType,
+        fn: Callable[..., int],
+        inputs: Sequence[Signal],
+        name: str,
+        delay: Optional[float] = None,
+    ) -> Signal:
+        output = self.signal(name)
+        _Gate(self, fn, inputs, output,
+              self.chars.delay_ps if delay is None else delay)
+        self.budget.add(gate_type)
+        return output
+
+    def add_inv(self, a: Signal, name: str) -> Signal:
+        """Optical inverter (Fig. 2b)."""
+        return self._add_gate(GateType.INV, lambda x: 1 - x, [a], name)
+
+    def add_buf(self, a: Signal, name: str) -> Signal:
+        """Buffer (signal regeneration)."""
+        return self._add_gate(GateType.BUF, lambda x: x, [a], name)
+
+    def add_and(self, a: Signal, b: Signal, name: str) -> Signal:
+        """2-input optical AND."""
+        self._check_fanin([a, b], "AND")
+        return self._add_gate(GateType.AND, lambda x, y: x & y, [a, b], name)
+
+    def add_or(self, a: Signal, b: Signal, name: str) -> Signal:
+        """2-input optical OR."""
+        self._check_fanin([a, b], "OR")
+        return self._add_gate(GateType.OR, lambda x, y: x | y, [a, b], name)
+
+    def add_nand(self, a: Signal, b: Signal, name: str) -> Signal:
+        """2-input optical NAND."""
+        self._check_fanin([a, b], "NAND")
+        return self._add_gate(
+            GateType.NAND, lambda x, y: 1 - (x & y), [a, b], name
+        )
+
+    def add_nor(self, a: Signal, b: Signal, name: str) -> Signal:
+        """2-input optical NOR."""
+        self._check_fanin([a, b], "NOR")
+        return self._add_gate(
+            GateType.NOR, lambda x, y: 1 - (x | y), [a, b], name
+        )
+
+    def add_waveguide_delay(
+        self, a: Signal, delay_ps: float, name: str
+    ) -> Signal:
+        """Passive waveguide delay element [35], [36]."""
+        if delay_ps <= 0:
+            raise CircuitError("waveguide delay must be positive")
+        output = self.signal(name)
+        _Gate(self, lambda x: x, [a], output, delay_ps)
+        self.budget.add(GateType.WAVEGUIDE_DELAY)
+        return output
+
+    def add_combiner(self, inputs: Sequence[Signal], name: str) -> Signal:
+        """Passive optical combiner: output carries light iff any input does.
+
+        Combiners are passive so arbitrary fan-in is allowed (the fan-in
+        rule applies only to active TL gates).
+        """
+        if not inputs:
+            raise CircuitError("combiner needs at least one input")
+        output = self.signal(name)
+        _Gate(self, lambda *xs: 1 if any(xs) else 0, inputs, output, 1e-6)
+        self.budget.add(GateType.COMBINER)
+        return output
+
+    def add_splitter(self, a: Signal, count: int) -> List[Signal]:
+        """Passive splitter: returns ``count`` references to the signal.
+
+        Splitting is lossless at the logic level (TL gates restore signal
+        strength); the element is recorded in the budget for area/cost.
+        """
+        if count < 2:
+            raise CircuitError("a splitter must split into at least 2")
+        self.budget.add(GateType.SPLITTER)
+        return [a] * count
+
+    def add_sr_latch(
+        self, s: Signal, r: Signal, name: str
+    ) -> Tuple[Signal, Signal]:
+        """SR latch from two cross-coupled NOR gates [10].
+
+        Returns (Q, Qbar).  Initial state is Q=0.
+        """
+        q = self.signal(name + ".q", level=0)
+        qbar = self.signal(name + ".qbar", level=1)
+        _Gate(self, lambda x, y: 1 - (x | y), [r, qbar], q,
+              self.chars.delay_ps)
+        _Gate(self, lambda x, y: 1 - (x | y), [s, q], qbar,
+              self.chars.delay_ps)
+        # Re-assert initial state (cross-coupled construction evaluates
+        # both gates at level-build time).
+        q.level, qbar.level = 0, 1
+        self.budget.add(GateType.LATCH)
+        return q, qbar
+
+    def add_sample_latch(
+        self,
+        data: Signal,
+        trigger: Signal,
+        reset: Signal,
+        name: str,
+    ) -> Tuple[Signal, Signal]:
+        """Edge-triggered sampling latch: on each rising edge of ``trigger``
+        the current ``data`` level is captured (after one gate delay); a
+        rising edge of ``reset`` clears it.
+
+        This models the routing latch's 'measure the delayed signal at the
+        falling edge' semantics (Fig. 3) behaviourally; it is still built
+        from two cross-coupled NORs physically and is budgeted as a latch.
+        Returns (Q, Qbar).
+        """
+        q = self.signal(name + ".q", level=0)
+        qbar = self.signal(name + ".qbar", level=1)
+        delay = self.chars.delay_ps
+
+        def on_trigger(time: float, level: int) -> None:
+            if level == 1:
+                sampled = data.level
+                self.env.schedule(delay, q.set, time + delay, sampled)
+                self.env.schedule(delay, qbar.set, time + delay, 1 - sampled)
+
+        def on_reset(time: float, level: int) -> None:
+            if level == 1:
+                self.env.schedule(delay, q.set, time + delay, 0)
+                self.env.schedule(delay, qbar.set, time + delay, 1)
+
+        trigger.listen(on_trigger)
+        reset.listen(on_reset)
+        self.budget.add(GateType.LATCH)
+        return q, qbar
+
+    def add_mutex(
+        self, req0: Signal, req1: Signal, name: str
+    ) -> Tuple[Signal, Signal]:
+        """2-way asynchronous arbiter: a latch plus two threshold NOT gates
+        [47].  Returns (grant0, grant1); at most one is ever high."""
+        g0 = self.signal(name + ".grant0")
+        g1 = self.signal(name + ".grant1")
+        _Mutex(self, [req0, req1], [g0, g1], self.chars.delay_ps)
+        self.budget.add(GateType.LATCH)
+        self.budget.add(GateType.THRESHOLD_NOT, 2)
+        return g0, g1
+
+    # -- stimulus and execution ----------------------------------------------
+
+    def drive(self, signal: Signal, waveform: OpticalWaveform) -> None:
+        """Schedule a waveform onto a primary input signal."""
+        level = 1
+        for edge in waveform.edges:
+            self.env.schedule_at(edge, signal.set, edge, level)
+            level = 1 - level
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the circuit until quiescent or until time ``until`` (ps)."""
+        self.env.run(until=until)
+
+    # -- reporting ------------------------------------------------------------
+
+    def render_waveforms(
+        self,
+        signals: Sequence[Signal],
+        t_end: float,
+        t_start: float = 0.0,
+        width: int = 72,
+    ) -> str:
+        """Render recorded signals as ASCII waveforms (Fig. 5 style)."""
+        lines = []
+        step = (t_end - t_start) / width
+        for sig in signals:
+            history = sig.history()
+            chars = []
+            for i in range(width):
+                t = t_start + (i + 0.5) * step
+                level = 0
+                for when, lvl in history:
+                    if when <= t:
+                        level = lvl
+                    else:
+                        break
+                chars.append("#" if level else "_")
+            lines.append(f"{sig.name:>16} |{''.join(chars)}|")
+        return "\n".join(lines)

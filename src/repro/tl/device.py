@@ -1,0 +1,189 @@
+"""Transistor-laser (TL) device model.
+
+The paper characterizes TL gates with the Keysight ADS device simulator
+(Sec. III, Tables III and IV).  We replace ADS with a rate-equation-lite
+model: the TL optical response is governed by the interplay of the
+spontaneous recombination lifetime and the cavity photon lifetime, and the
+static electrical operating point sets the power.  Two dimensionless
+calibration constants (documented below) absorb the details of the ADS
+device deck; with the published Table III parameters the model reproduces
+the published Table IV figures, and it extrapolates sensibly when device
+parameters are scaled (used by the technology-scaling ablation bench).
+
+Key relations:
+
+* ``tau_opt = sqrt(tau_spon * tau_photon)`` -- the geometric mean of the two
+  lifetimes, the time scale of a resonance-free laser response [29].
+* propagation delay  = ``K_DELAY * tau_opt``
+* rise/fall time     = ``K_RISE_FALL * tau_opt``
+* max data rate      = ``1 / (2 * t_rise_fall + t_delay)`` -- a full optical
+  swing (rise + fall) plus the gate delay must fit in one bit window for the
+  eye to open.
+* static power       = laser-branch bias + pull-down branch + a small
+  dynamic CV^2 f term (static dominates; Sec. III footnote).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro import constants as C
+
+__all__ = ["TLDeviceParameters", "TLGateCharacteristics", "characterize_gate"]
+
+# Calibration constants fitted once against the published ADS results
+# (Table IV).  K_DELAY maps the optical time constant to the 50%-to-50%
+# propagation delay; K_RISE_FALL maps it to the 10%-90% edge time.
+K_DELAY = 0.1924
+K_RISE_FALL = 0.7278
+
+# Base-node voltage swing implied by the modulation conditions of Table III;
+# sets the (small) dynamic power term.
+BASE_NODE_SWING_V = 0.06
+
+
+@dataclass(frozen=True)
+class TLDeviceParameters:
+    """Device and circuit parameters of a TL gate (Table III).
+
+    All defaults are the paper's values; construct with overrides to explore
+    scaled technology nodes (see ``examples/technology_scaling.py``).
+    """
+
+    junction_capacitance_f: float = C.TL_JUNCTION_CAPACITANCE_F
+    recombination_lifetime_s: float = C.TL_RECOMBINATION_LIFETIME_S
+    photon_lifetime_s: float = C.TL_PHOTON_LIFETIME_S
+    wavelength_nm: float = C.TL_WAVELENGTH_NM
+    threshold_current_a: float = C.TL_THRESHOLD_CURRENT_A
+    bias_current_a: float = C.TL_BIAS_CURRENT_A
+    supply_v1_v: float = C.TL_SUPPLY_V1_V
+    supply_v2_v: float = C.TL_SUPPLY_V2_V
+    load_resistor_ohm: float = C.TL_LOAD_RESISTOR_OHM
+    base_modulation_a: float = C.TL_BASE_MODULATION_A
+    pd_junction_capacitance_f: float = C.TL_PD_JUNCTION_CAPACITANCE_F
+    pd_average_current_a: float = C.TL_PD_AVERAGE_CURRENT_A
+    gate_area_um2: float = C.TL_GATE_AREA_UM2
+
+    def __post_init__(self):
+        for name in (
+            "junction_capacitance_f",
+            "recombination_lifetime_s",
+            "photon_lifetime_s",
+            "threshold_current_a",
+            "bias_current_a",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.bias_current_a < self.threshold_current_a:
+            raise ValueError(
+                "bias current must be at or above the lasing threshold"
+            )
+
+    def scaled(self, factor: float) -> "TLDeviceParameters":
+        """Return parameters for a technology node scaled by ``factor`` < 1.
+
+        Capacitances, lifetimes, currents, and area shrink with the node;
+        supplies are held (oxide-limited).  Used for what-if projections
+        (Sec. III: 'scaling the TL technology further to continue to improve
+        latency/power').
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            junction_capacitance_f=self.junction_capacitance_f * factor,
+            recombination_lifetime_s=self.recombination_lifetime_s * factor,
+            photon_lifetime_s=self.photon_lifetime_s * factor,
+            threshold_current_a=self.threshold_current_a * factor,
+            bias_current_a=self.bias_current_a * factor,
+            base_modulation_a=self.base_modulation_a * factor,
+            pd_junction_capacitance_f=self.pd_junction_capacitance_f * factor,
+            pd_average_current_a=self.pd_average_current_a * factor,
+            gate_area_um2=self.gate_area_um2 * factor,
+        )
+
+
+@dataclass(frozen=True)
+class TLGateCharacteristics:
+    """Simulated characteristics of a TL logic gate (Table IV format).
+
+    The same numbers apply to INV, NAND, NOR, AND, and OR gates: only the
+    output TL limits speed/power, and the average photocurrent is kept equal
+    across gate types (Sec. III).
+    """
+
+    area_um2: float
+    rise_fall_time_ps: float
+    delay_ps: float
+    power_w: float
+    data_rate_gbps: float
+    eye_opening_fraction: float = field(default=0.0)
+
+    @property
+    def power_mw(self) -> float:
+        """Gate power in milliwatts."""
+        return self.power_w * 1e3
+
+    @property
+    def energy_per_bit_fj(self) -> float:
+        """Energy per bit in femtojoules at the max data rate."""
+        return self.power_w / (self.data_rate_gbps * 1e9) * 1e15
+
+
+def characterize_gate(
+    params: TLDeviceParameters | None = None,
+) -> TLGateCharacteristics:
+    """Characterize a TL gate from device parameters.
+
+    With the default (Table III) parameters this reproduces Table IV:
+    25 um^2, 7.3 ps rise/fall, 1.93 ps delay, 0.406 mW, 60 Gbps.
+    """
+    p = params or TLDeviceParameters()
+
+    tau_opt_s = math.sqrt(p.recombination_lifetime_s * p.photon_lifetime_s)
+    delay_ps = K_DELAY * tau_opt_s * 1e12
+    rise_fall_ps = K_RISE_FALL * tau_opt_s * 1e12
+
+    # A bit window must fit a full rise + fall plus the gate delay.
+    bit_window_ps = 2.0 * rise_fall_ps + delay_ps
+    data_rate_gbps = 1e3 / bit_window_ps
+
+    # Static power: laser branch at +V1, pull-down branch at +V2 (average
+    # photodetector current plus half the base modulation amplitude), plus a
+    # small dynamic CV^2 f term.  Static dominates (Sec. III footnote), so
+    # power is ~constant across data rates and activity factors.
+    laser_branch_w = p.supply_v1_v * p.bias_current_a
+    pulldown_branch_w = p.supply_v2_v * (
+        p.pd_average_current_a + 0.5 * p.base_modulation_a
+    )
+    dynamic_w = (
+        p.pd_junction_capacitance_f
+        * BASE_NODE_SWING_V**2
+        * data_rate_gbps
+        * 1e9
+    )
+    power_w = laser_branch_w + pulldown_branch_w + dynamic_w
+
+    # Eye opening: the fraction of the bit period not consumed by edges.
+    bit_period_ps = 1e3 / data_rate_gbps
+    eye = max(0.0, 1.0 - rise_fall_ps / bit_period_ps)
+
+    return TLGateCharacteristics(
+        area_um2=p.gate_area_um2,
+        rise_fall_time_ps=rise_fall_ps,
+        delay_ps=delay_ps,
+        power_w=power_w,
+        data_rate_gbps=data_rate_gbps,
+        eye_opening_fraction=eye,
+    )
+
+
+def static_power_fraction(params: TLDeviceParameters | None = None) -> float:
+    """Fraction of gate power that is static (should be ~0.95)."""
+    chars = characterize_gate(params)
+    p = params or TLDeviceParameters()
+    static = p.supply_v1_v * p.bias_current_a + p.supply_v2_v * (
+        p.pd_average_current_a + 0.5 * p.base_modulation_a
+    )
+    return static / chars.power_w

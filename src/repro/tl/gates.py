@@ -1,0 +1,127 @@
+"""TL optical gate library: active gates and passive optical elements.
+
+Active gates (each built around an output TL, Sec. III):
+
+* INV, NAND, NOR, AND, OR, BUF -- all with identical delay/power (the output
+  TL is the limiting element; Table IV applies to every type).
+* LATCH -- two cross-coupled NOR gates [10]; double the power.
+* THRESHOLD_NOT -- the threshold inverter used in the asynchronous arbiter
+  [47]; modelled as one gate.
+
+Passive elements (no TL, negligible power):
+
+* SPLITTER -- splits one optical signal into N [33], [34].
+* COMBINER -- combines N signals into one; performs OR because the output
+  carries light iff any input does [34].
+* WAVEGUIDE_DELAY -- delays propagation by a fixed time [35], [36].
+
+The library also provides :class:`GateBudget`, the bookkeeping object used to
+compute per-switch gate counts, power, and area.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.tl.device import TLGateCharacteristics, characterize_gate
+
+__all__ = ["GateType", "GATE_COST_IN_GATES", "GateBudget", "gate_power_w"]
+
+
+class GateType(enum.Enum):
+    """Every element type available to TL circuit designers."""
+
+    INV = "inv"
+    BUF = "buf"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    THRESHOLD_NOT = "threshold_not"
+    LATCH = "latch"
+    SPLITTER = "splitter"
+    COMBINER = "combiner"
+    WAVEGUIDE_DELAY = "waveguide_delay"
+
+
+GATE_COST_IN_GATES: Dict[GateType, int] = {
+    GateType.INV: 1,
+    GateType.BUF: 1,
+    GateType.AND: 1,
+    GateType.OR: 1,
+    GateType.NAND: 1,
+    GateType.NOR: 1,
+    GateType.THRESHOLD_NOT: 1,
+    GateType.LATCH: 2,  # two cross-coupled NORs (Sec. III)
+    GateType.SPLITTER: 0,  # passive
+    GateType.COMBINER: 0,  # passive
+    GateType.WAVEGUIDE_DELAY: 0,  # passive
+}
+"""Equivalent TL-gate count of each element (passives cost zero gates)."""
+
+
+def gate_power_w(
+    gate_type: GateType,
+    characteristics: TLGateCharacteristics | None = None,
+) -> float:
+    """Power of one element of ``gate_type`` in watts.
+
+    All single-output active gates consume the same power regardless of
+    fan-in (Sec. III); a latch consumes double; passives consume nothing.
+    """
+    chars = characteristics or characterize_gate()
+    return GATE_COST_IN_GATES[gate_type] * chars.power_w
+
+
+@dataclass
+class GateBudget:
+    """Accumulates element counts for a circuit and reports totals.
+
+    Used to account for the gate count, power, and area of TL switch designs
+    (Table V) and whole networks (Sec. VI).
+    """
+
+    counts: Dict[GateType, int] = field(default_factory=dict)
+    characteristics: TLGateCharacteristics = field(
+        default_factory=characterize_gate
+    )
+
+    def add(self, gate_type: GateType, count: int = 1) -> None:
+        """Record ``count`` additional elements of ``gate_type``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.counts[gate_type] = self.counts.get(gate_type, 0) + count
+
+    def merge(self, other: "GateBudget") -> None:
+        """Fold another budget's counts into this one."""
+        for gate_type, count in other.counts.items():
+            self.add(gate_type, count)
+
+    @property
+    def tl_gate_count(self) -> int:
+        """Total equivalent TL gates (latches count as 2, passives as 0)."""
+        return sum(
+            GATE_COST_IN_GATES[gate_type] * count
+            for gate_type, count in self.counts.items()
+        )
+
+    @property
+    def passive_count(self) -> int:
+        """Total passive elements (splitters/combiners/delays)."""
+        return sum(
+            count
+            for gate_type, count in self.counts.items()
+            if GATE_COST_IN_GATES[gate_type] == 0
+        )
+
+    @property
+    def power_w(self) -> float:
+        """Total power: gate count times the per-gate power."""
+        return self.tl_gate_count * self.characteristics.power_w
+
+    @property
+    def area_um2(self) -> float:
+        """Total active area: gate count times the per-gate area."""
+        return self.tl_gate_count * self.characteristics.area_um2

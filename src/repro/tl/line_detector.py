@@ -1,0 +1,129 @@
+"""The line activity detector of the TL switch (Fig. 4b).
+
+One detector per switch input port.  It has two jobs (Sec. IV-C):
+
+1. **Packet framing** -- detect the beginning and end of each packet by
+   continuously detecting the presence of light: the input is split into a
+   bank of waveguide delays (n = 15 taps of delta = 0.4T, spanning the 6T
+   end-of-packet window) whose outputs are combined; the combiner output is
+   '1' from the first light until 6T after the last light.  Edges of this
+   *presence* signal are detected by comparing it with a 0.5T-delayed copy.
+
+2. **Routing-bit decode** -- delay the input by theta = 1.3T and latch the
+   delayed level at the falling edge of the first bit: level 1 means the
+   bit was 2T long (logic '0'), level 0 means 1T (logic '1').
+
+It drives three control latches: the *routing latch* (decoded first bit),
+the *valid latch* (set 2.5T after packet start, reset at end of packet), and
+the *mask-off latch* (same timing; masks the first routing bit in the
+fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants as C
+from repro.tl.circuit import Circuit, Signal
+
+__all__ = ["LineActivityDetector"]
+
+# Width of the falling-edge detection pulse used to enable the routing
+# latch, in bit periods.  Must exceed a few gate delays for the NOR latch to
+# capture reliably, and stay well under the 1T minimum gap.
+FALL_EDGE_PULSE_PERIODS = 0.3
+
+
+@dataclass
+class LineActivityDetector:
+    """Structural line-activity-detector netlist attached to one input.
+
+    Public signals (all recordable):
+
+    * ``presence``   -- light-presence envelope (high until 6T after EOP).
+    * ``start_pulse``/``end_pulse`` -- packet framing pulses.
+    * ``routing_q``  -- routing latch: 1 means first bit was '0' (2T).
+    * ``valid_q``    -- high while the routing bit is valid.
+    * ``maskoff_q``  -- high from 2.5T after start until end of packet.
+    """
+
+    circuit: Circuit
+    input_signal: Signal
+    bit_period_ps: float
+    name: str
+
+    def __post_init__(self):
+        circ, inp, t, nm = (
+            self.circuit, self.input_signal, self.bit_period_ps, self.name
+        )
+        delta = C.LINE_DETECTOR_DELTA_PERIODS * t
+
+        # -- presence: input OR its delayed copies spanning 6T -------------
+        taps = [inp]
+        prev = inp
+        for k in range(1, C.LINE_DETECTOR_N_STAGES + 1):
+            prev = circ.add_waveguide_delay(prev, delta, f"{nm}.tap{k}")
+            taps.append(prev)
+        self.presence = circ.add_combiner(taps, f"{nm}.presence")
+
+        # -- edge detection: compare presence with a 0.5T-delayed copy -----
+        presence_delayed = circ.add_waveguide_delay(
+            self.presence, C.EDGE_DETECT_DELAY_PERIODS * t, f"{nm}.presence_d"
+        )
+        not_delayed = circ.add_inv(presence_delayed, f"{nm}.presence_d_n")
+        not_presence = circ.add_inv(self.presence, f"{nm}.presence_n")
+        self.start_pulse = circ.add_and(
+            self.presence, not_delayed, f"{nm}.start_pulse"
+        )
+        self.end_pulse = circ.add_and(
+            not_presence, presence_delayed, f"{nm}.end_pulse"
+        )
+
+        # -- valid and mask-off latches: set 2.5T after start, reset at EOP
+        set_pulse = circ.add_waveguide_delay(
+            self.start_pulse, C.VALID_LATCH_SET_PERIODS * t, f"{nm}.set_pulse"
+        )
+        self.valid_q, self.valid_qbar = circ.add_sr_latch(
+            set_pulse, self.end_pulse, f"{nm}.valid"
+        )
+        self.maskoff_q, _ = circ.add_sr_latch(
+            set_pulse, self.end_pulse, f"{nm}.maskoff"
+        )
+
+        # -- routing-bit decode (Fig. 3) ------------------------------------
+        # Sample the theta-delayed input at the falling edge of the first
+        # bit.  The paper quotes theta = 1.3T at the latch enable; our
+        # enable path (INV + two ANDs) adds 3 gate delays after the falling
+        # edge, so we compensate the waveguide delay to place the decision
+        # threshold exactly halfway between the 1T and 2T bit lengths,
+        # preserving the +/-0.42T margin of Sec. IV-F.
+        enable_path_ps = 3 * circ.chars.delay_ps
+        theta_ps = (
+            C.FIRST_BIT_SAMPLE_DELAY_PERIODS * t
+            + 0.2 * t
+            + enable_path_ps
+        )
+        theta_delayed = circ.add_waveguide_delay(inp, theta_ps, f"{nm}.theta")
+        input_delayed_short = circ.add_waveguide_delay(
+            inp, FALL_EDGE_PULSE_PERIODS * t, f"{nm}.in_d"
+        )
+        not_input = circ.add_inv(inp, f"{nm}.in_n")
+        fall_edge = circ.add_and(
+            not_input, input_delayed_short, f"{nm}.fall_edge"
+        )
+        enable = circ.add_and(fall_edge, self.valid_qbar, f"{nm}.enable")
+        self.routing_q, self.routing_qbar = circ.add_sample_latch(
+            theta_delayed, enable, self.end_pulse, f"{nm}.routing"
+        )
+
+    def record_all(self) -> None:
+        """Enable waveform recording on every public signal."""
+        for sig in (
+            self.presence,
+            self.start_pulse,
+            self.end_pulse,
+            self.valid_q,
+            self.maskoff_q,
+            self.routing_q,
+        ):
+            sig.record()

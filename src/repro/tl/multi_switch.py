@@ -1,0 +1,207 @@
+"""Gate-level 2x2 TL switch with path multiplicity m (Sec. IV-E).
+
+Extends the multiplicity-1 netlist of :mod:`repro.tl.switch_circuit`:
+
+* **2m input ports** (m per logical input direction), each with its own
+  line activity detector, routing/mask-off latches, masked data path, and
+  waveguide delay -- all 2m packets are processed independently;
+* **2m output ports** (m per output direction); a packet succeeds if at
+  least one of the m ports of its direction is free, checked *sequentially*
+  by the arbitration unit -- which is why Table V's switch latency grows
+  with m (one extra check time per additional path);
+* the fabric gates every (input, output port) pair with its grant and
+  combines onto each output port.
+
+The structural gate count grows quadratically with m, like Table V's
+published counts (64m^2 + 22m for m >= 2); the published numbers remain
+authoritative for the architecture-level models (``switch_model``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro import constants as C
+from repro.errors import ConfigurationError
+from repro.tl.circuit import Circuit, Signal
+from repro.tl.encoding import OpticalWaveform, encode_packet
+from repro.tl.gates import GateType
+from repro.tl.line_detector import LineActivityDetector
+
+__all__ = ["TLMultiplicitySwitchCircuit"]
+
+
+class _SequentialArbiter:
+    """Per-direction arbitration over m output ports (Sec. IV-E).
+
+    When a request rises, the unit checks the direction's ports in order
+    and grants the first free one after ``(position + 1)`` check delays;
+    a packet whose direction has no free port gets no grant and is dropped
+    by the (dark) fabric ANDs.  Ports release when their holder's request
+    falls.  There is no retry: arbitration happens once per packet, at
+    header time, matching the bufferless drop semantics.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        requests: Sequence[Signal],
+        grants: Sequence[Sequence[Signal]],  # grants[req_idx][port]
+        check_delay_ps: float,
+    ):
+        self.circuit = circuit
+        self.requests = list(requests)
+        self.grants = [list(g) for g in grants]
+        self.check_delay_ps = check_delay_ps
+        self.owner: List[Optional[int]] = [None] * len(self.grants[0])
+        for idx, request in enumerate(self.requests):
+            request.listen(self._make_listener(idx))
+
+    def _make_listener(self, idx: int):
+        def on_change(time: float, level: int) -> None:
+            if level == 1:
+                self._try_grant(idx, time)
+            else:
+                self._release(idx, time)
+
+        return on_change
+
+    def _try_grant(self, idx: int, time: float) -> None:
+        for position, holder in enumerate(self.owner):
+            if holder is None:
+                self.owner[position] = idx
+                delay = (position + 1) * self.check_delay_ps
+                self.circuit.env.schedule(
+                    delay, self.grants[idx][position].set, time + delay, 1
+                )
+                return
+
+    def _release(self, idx: int, time: float) -> None:
+        for position, holder in enumerate(self.owner):
+            if holder == idx:
+                self.owner[position] = None
+                delay = self.check_delay_ps
+                self.circuit.env.schedule(
+                    delay, self.grants[idx][position].set, time + delay, 0
+                )
+
+
+class TLMultiplicitySwitchCircuit:
+    """Simulatable 2x2 TL switch with 2m inputs and 2m outputs."""
+
+    def __init__(self, multiplicity: int, bit_period_ps: float = 40.0):
+        if multiplicity < 1:
+            raise ConfigurationError("multiplicity must be >= 1")
+        if bit_period_ps <= 0:
+            raise ConfigurationError("bit period must be positive")
+        self.multiplicity = multiplicity
+        self.bit_period_ps = bit_period_ps
+        self.circuit = Circuit()
+        circ = self.circuit
+        m = multiplicity
+
+        # Input ports: index = direction * m + port.
+        self.inputs: List[Signal] = [
+            circ.signal(f"in{j}_{k}") for j in (0, 1) for k in range(m)
+        ]
+        self.detectors: List[LineActivityDetector] = []
+        delayed: List[Signal] = []
+        for i, inp in enumerate(self.inputs):
+            inp.record()
+            circ.add_splitter(inp, 2)
+            det = LineActivityDetector(
+                circ, inp, self.bit_period_ps, name=f"det{i}"
+            )
+            self.detectors.append(det)
+            masked = circ.add_and(inp, det.maskoff_q, f"mask{i}")
+            delayed.append(
+                circ.add_waveguide_delay(
+                    masked, C.WAVEGUIDE_DELAY_WD_PS, f"wd{i}"
+                )
+            )
+            # Footnote 4: m valid latches per input, one per path.
+            for path in range(m - 1):
+                circ.budget.add(GateType.LATCH)
+
+        # Requests per (input, direction).
+        requests = []
+        for i, det in enumerate(self.detectors):
+            req0 = circ.add_and(det.valid_q, det.routing_q, f"req{i}_d0")
+            req1 = circ.add_and(det.valid_q, det.routing_qbar, f"req{i}_d1")
+            requests.append((req0, req1))
+
+        # Grants: grant[input][direction][port].
+        self.grants = [
+            [
+                [circ.signal(f"grant{i}_d{d}_p{p}") for p in range(m)]
+                for d in (0, 1)
+            ]
+            for i in range(len(self.inputs))
+        ]
+        for d in (0, 1):
+            _SequentialArbiter(
+                circ,
+                [requests[i][d] for i in range(len(self.inputs))],
+                [self.grants[i][d] for i in range(len(self.inputs))],
+                check_delay_ps=circ.chars.delay_ps,
+            )
+            # Physical arbiter cost: a latch + two threshold gates per port.
+            for _ in range(m):
+                circ.budget.add(GateType.LATCH)
+                circ.budget.add(GateType.THRESHOLD_NOT, 2)
+
+        # Fabric: output port (d, p) combines the gated copies of every
+        # input that may win it.
+        self.outputs: List[Signal] = []
+        for d in (0, 1):
+            for p in range(m):
+                gated = []
+                for i in range(len(self.inputs)):
+                    gated.append(
+                        circ.add_and(
+                            delayed[i],
+                            self.grants[i][d][p],
+                            f"fab{i}_d{d}_p{p}",
+                        )
+                    )
+                out = circ.add_combiner(gated, f"out_d{d}_p{p}")
+                out.record()
+                self.outputs.append(out)
+
+    def output(self, direction: int, port: int) -> Signal:
+        """The output signal of (direction, physical port)."""
+        return self.outputs[direction * self.multiplicity + port]
+
+    def inject(
+        self,
+        direction: int,
+        port: int,
+        routing_bits: Sequence[int],
+        payload: bytes,
+        start_ps: float = 0.0,
+    ) -> OpticalWaveform:
+        """Drive a packet into input (direction, port)."""
+        waveform = encode_packet(
+            routing_bits, payload, self.bit_period_ps, start_ps
+        )
+        self.circuit.drive(
+            self.inputs[direction * self.multiplicity + port], waveform
+        )
+        return waveform
+
+    def run(self, until_ps: Optional[float] = None) -> None:
+        """Run the circuit simulation."""
+        self.circuit.run(until=until_ps)
+
+    @property
+    def gate_count(self) -> int:
+        """Structural TL gate count (grows quadratically with m)."""
+        return self.circuit.budget.tl_gate_count
+
+    def lit_outputs(self, direction: int) -> List[int]:
+        """Physical ports of ``direction`` that carried any light."""
+        return [
+            p
+            for p in range(self.multiplicity)
+            if self.output(direction, p).rise_times()
+        ]

@@ -1,0 +1,221 @@
+"""The complete 2x2 all-optical TL switch netlist (Fig. 4a).
+
+Structure (multiplicity 1):
+
+* **Switch fabric** -- each input is split (SP0/SP1): one copy feeds the
+  header processing unit, the other an AND gate (AND0/AND1) that masks off
+  the first routing bit using the mask-off latch output.  The masked packet
+  is delayed 132 ps in a waveguide (WD0/WD1) while arbitration completes,
+  split again (SP2/SP3), and gated to either output by AND2-AND5 whose
+  select inputs are the four grant signals; combiners C0/C1 OR the gated
+  copies onto the two output ports.
+* **Header processing unit** -- a line activity detector plus routing /
+  valid / mask-off latches per input, and one 2x2 asynchronous arbiter per
+  output port.
+
+Routing-bit convention: first bit '0' (2T of light, latch stores 1) selects
+output port 0; '1' (1T, latch stores 0) selects output port 1.
+
+The module also provides the gate-count / latency / power model for switches
+with multiplicity 1-5 (Table V) used by the architecture-level simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro import constants as C
+from repro.errors import ConfigurationError
+from repro.tl.circuit import Circuit, Signal
+from repro.tl.device import characterize_gate
+from repro.tl.encoding import OpticalWaveform, encode_packet
+from repro.tl.line_detector import LineActivityDetector
+
+__all__ = ["TLSwitchCircuit", "SwitchModel", "switch_model"]
+
+
+class TLSwitchCircuit:
+    """A structural, simulatable 2x2 TL switch with multiplicity 1.
+
+    Drive packets with :meth:`inject`, call :meth:`run`, then inspect the
+    output signals' recorded waveforms (exactly how Fig. 5 was produced).
+    """
+
+    def __init__(self, bit_period_ps: float = 40.0):
+        if bit_period_ps <= 0:
+            raise ConfigurationError("bit period must be positive")
+        self.bit_period_ps = bit_period_ps
+        self.circuit = Circuit()
+        circ = self.circuit
+
+        self.inputs: List[Signal] = [
+            circ.signal("in0"), circ.signal("in1")
+        ]
+        for sig in self.inputs:
+            sig.record()
+
+        # Header processing unit: one detector per input.
+        self.detectors: List[LineActivityDetector] = []
+        for i, inp in enumerate(self.inputs):
+            circ.add_splitter(inp, 2)  # SP0 / SP1
+            det = LineActivityDetector(
+                circ, inp, bit_period_ps, name=f"det{i}"
+            )
+            det.record_all()
+            self.detectors.append(det)
+
+        # Switch fabric: mask off the first routing bit, then delay.
+        delayed: List[Signal] = []
+        for i, (inp, det) in enumerate(zip(self.inputs, self.detectors)):
+            masked = circ.add_and(inp, det.maskoff_q, f"and{i}")
+            wd = circ.add_waveguide_delay(
+                masked, C.WAVEGUIDE_DELAY_WD_PS, f"wd{i}"
+            )
+            circ.add_splitter(wd, 2)  # SP2 / SP3
+            delayed.append(wd)
+
+        # Requests: input i requests port 0 when the routing latch holds 1
+        # (first bit '0'), port 1 when it holds 0.
+        requests = []
+        for i, det in enumerate(self.detectors):
+            req0 = circ.add_and(det.valid_q, det.routing_q, f"req{i}0")
+            req1 = circ.add_and(det.valid_q, det.routing_qbar, f"req{i}1")
+            requests.append((req0, req1))
+
+        # One asynchronous arbiter per output port.
+        self.grants: List[List[Signal]] = [[None, None], [None, None]]
+        for port in (0, 1):
+            g0, g1 = circ.add_mutex(
+                requests[0][port], requests[1][port], f"arb{port}"
+            )
+            self.grants[0][port] = g0
+            self.grants[1][port] = g1
+            g0.record()
+            g1.record()
+
+        # Output multiplexers: AND2-AND5 gated by grants, OR'd by C0/C1.
+        self.outputs: List[Signal] = []
+        for port in (0, 1):
+            gated0 = circ.add_and(
+                delayed[0], self.grants[0][port], f"and{2 + 2 * port}"
+            )
+            gated1 = circ.add_and(
+                delayed[1], self.grants[1][port], f"and{3 + 2 * port}"
+            )
+            out = circ.add_combiner([gated0, gated1], f"out{port}")
+            out.record()
+            self.outputs.append(out)
+
+    def inject(
+        self,
+        input_port: int,
+        routing_bits: Sequence[int],
+        payload: bytes,
+        start_ps: float = 0.0,
+    ) -> OpticalWaveform:
+        """Encode and drive a packet into ``input_port``; returns the
+        injected waveform."""
+        waveform = encode_packet(
+            routing_bits, payload, self.bit_period_ps, start_ps
+        )
+        self.circuit.drive(self.inputs[input_port], waveform)
+        return waveform
+
+    def run(self, until_ps: Optional[float] = None) -> None:
+        """Run the switch circuit simulation."""
+        self.circuit.run(until=until_ps)
+
+    @property
+    def gate_count(self) -> int:
+        """TL gates in this structural netlist (cf. ~60 quoted in Fig. 4)."""
+        return self.circuit.budget.tl_gate_count
+
+    def waveform_report(self, t_end_ps: float) -> str:
+        """ASCII waveform dump of the Fig. 5 signals."""
+        det0 = self.detectors[0]
+        return self.circuit.render_waveforms(
+            [
+                self.inputs[0],
+                det0.presence,
+                det0.routing_q,
+                det0.valid_q,
+                det0.maskoff_q,
+                self.grants[0][0],
+                self.grants[0][1],
+                self.outputs[0],
+                self.outputs[1],
+            ],
+            t_end=t_end_ps,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Architecture-level switch model (Table V)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """Gate count, latency, power, and area of a 2x2 TL switch.
+
+    ``multiplicity`` m gives the switch 2m input and 2m output ports (m per
+    direction); a packet succeeds if any of the m paths toward its direction
+    is free (checked sequentially by the arbitration units, which is why
+    latency grows with m).
+    """
+
+    multiplicity: int
+    gate_count: int
+    latency_ns: float
+
+    @property
+    def ports_per_direction(self) -> int:
+        """m ports per output direction."""
+        return self.multiplicity
+
+    @property
+    def total_ports(self) -> int:
+        """2m inputs and 2m outputs."""
+        return 2 * self.multiplicity
+
+    @property
+    def power_w(self) -> float:
+        """Switch power: gate count x per-gate power (Sec. VI-A)."""
+        return self.gate_count * characterize_gate().power_w
+
+    @property
+    def area_um2(self) -> float:
+        """Active TL area of the switch."""
+        return self.gate_count * C.TL_GATE_AREA_UM2
+
+
+def _extrapolate_gates(m: int) -> int:
+    """Quadratic fit 64m^2 + 22m, exact for Table V at m in 2..5."""
+    return 64 * m * m + 22 * m
+
+
+def _extrapolate_latency(m: int) -> float:
+    """Quadratic fit to Table V latencies (exact at m in 1..4)."""
+    return max(0.05, -0.11 + 0.2 * m + 0.05 * m * m)
+
+
+def switch_model(multiplicity: int) -> SwitchModel:
+    """The Table V switch model for a given path multiplicity.
+
+    Multiplicities 1-5 use the published values verbatim; larger values
+    extrapolate with the quadratic fits documented in DESIGN.md.
+    """
+    if multiplicity < 1:
+        raise ConfigurationError("multiplicity must be >= 1")
+    if multiplicity in C.GATES_PER_SWITCH:
+        return SwitchModel(
+            multiplicity=multiplicity,
+            gate_count=C.GATES_PER_SWITCH[multiplicity],
+            latency_ns=C.SWITCH_LATENCY_NS[multiplicity],
+        )
+    return SwitchModel(
+        multiplicity=multiplicity,
+        gate_count=_extrapolate_gates(multiplicity),
+        latency_ns=_extrapolate_latency(multiplicity),
+    )

@@ -1,0 +1,124 @@
+"""Benes network topology [41] as an alternative Baldur substrate.
+
+Sec. IV expects Baldur to achieve similar results on other multi-stage
+topologies, naming Benes explicitly.  A Benes network for N = 2^S nodes
+has 2S-1 stages: an S-1-stage *scatter* half (an inverse omega) where the
+routing bits are free -- any choice still reaches every destination -- and
+an S-stage omega half routed by destination tag.  Choosing the scatter
+bits uniformly at random is Valiant-style load balancing: it gives path
+diversity *through the topology* rather than through port multiplicity.
+
+Construction (verified exhaustively in the tests): a packet on wire ``w``
+enters switch ``w // 2``; in the scatter half the output wire ``2i + b``
+is rotated *right* between stages, in the routing half it is rotated
+*left*, and the final stage's output wire is the destination.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import TopologyError
+from repro.sim.rand import stream
+
+__all__ = ["BenesTopology"]
+
+
+class BenesTopology:
+    """Benes network for ``n_nodes`` (a power of two >= 4)."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        multiplicity: int = 1,
+        seed: int = 0,
+        deterministic_scatter: bool = False,
+    ):
+        """``deterministic_scatter=True`` pins the free bits to 0 (used by
+        the fault-diagnosis test mode, which needs deterministic paths)."""
+        if n_nodes < 4 or n_nodes & (n_nodes - 1):
+            raise TopologyError(
+                f"node count must be a power of two >= 4, got {n_nodes}"
+            )
+        if multiplicity < 1:
+            raise TopologyError("multiplicity must be >= 1")
+        self.n_nodes = n_nodes
+        self.multiplicity = multiplicity
+        self.deterministic_scatter = deterministic_scatter
+        self._address_bits = n_nodes.bit_length() - 1
+        self.n_stages = 2 * self._address_bits - 1
+        self.switches_per_stage = n_nodes // 2
+        self._rng = stream(seed, "benes-scatter")
+
+    # -- wire arithmetic ---------------------------------------------------
+
+    def _rol(self, wire: int) -> int:
+        msb = (wire >> (self._address_bits - 1)) & 1
+        return ((wire << 1) | msb) & (self.n_nodes - 1)
+
+    def _ror(self, wire: int) -> int:
+        return (wire >> 1) | ((wire & 1) << (self._address_bits - 1))
+
+    @property
+    def scatter_stages(self) -> int:
+        """Stages whose routing bit is free (S - 1)."""
+        return self._address_bits - 1
+
+    # -- topology interface --------------------------------------------------
+
+    def entry_switch(self, node: int) -> int:
+        """Hosts drive wire ``node`` into stage 0 directly."""
+        self._check_node(node)
+        return node // 2
+
+    def routing_bit(self, dst: int, stage: int) -> int:
+        """Free (random) bit in the scatter half; destination tag after."""
+        self._check_node(dst)
+        if not 0 <= stage < self.n_stages:
+            raise TopologyError(f"stage {stage} out of range")
+        if stage < self.scatter_stages:
+            if self.deterministic_scatter:
+                return 0
+            return self._rng.getrandbits(1)
+        tag_stage = stage - self.scatter_stages
+        return (dst >> (self._address_bits - 1 - tag_stage)) & 1
+
+    def routing_bits(self, dst: int) -> List[int]:
+        """One full set of routing bits (scatter bits freshly drawn)."""
+        return [self.routing_bit(dst, s) for s in range(self.n_stages)]
+
+    def next_switches(self, stage: int, switch: int, bit: int) -> Sequence[int]:
+        """Next-stage switch (or host at the last stage)."""
+        wire = 2 * switch + bit
+        if self.is_last_stage(stage):
+            return [wire] * self.multiplicity
+        if stage < self.scatter_stages:
+            return [self._ror(wire) // 2] * self.multiplicity
+        return [self._rol(wire) // 2] * self.multiplicity
+
+    def is_last_stage(self, stage: int) -> bool:
+        """True when ``stage`` connects to hosts."""
+        return stage == self.n_stages - 1
+
+    def deterministic_path(self, src: int, dst: int) -> List[int]:
+        """Switches visited with all scatter bits pinned to 0."""
+        path = []
+        switch = self.entry_switch(src)
+        for stage in range(self.n_stages):
+            path.append(switch)
+            if stage < self.scatter_stages:
+                bit = 0
+            else:
+                tag_stage = stage - self.scatter_stages
+                bit = (dst >> (self._address_bits - 1 - tag_stage)) & 1
+            switch = self.next_switches(stage, switch, bit)[0]
+        return path
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.n_nodes})")
+
+    @property
+    def total_switches(self) -> int:
+        """Total 2x2 switches (almost double a butterfly's)."""
+        return self.n_stages * self.switches_per_stage

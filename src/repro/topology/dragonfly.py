@@ -1,0 +1,134 @@
+"""Dragonfly topology [16] with the recommended balanced configuration.
+
+A dragonfly with p terminals per router, a routers per group, and h global
+channels per router supports g = a*h + 1 groups and N = p*a*g nodes.  The
+paper uses 'the most optimized architecture recommended in [16]', i.e. the
+balanced a = 2p, h = p configuration (radix p + (a-1) + h: 15 at the 1K
+scale, 95 at the 1M scale -- the '16 to 96' radix growth of Sec. VI-A).
+
+Global channels use the consecutive assignment: group g's channel
+c = r*h + l (router-local link l of router r) connects to group c when
+c < g, else c + 1; the reverse channel lands on the peer router computed
+symmetrically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["DragonflyTopology"]
+
+
+@dataclass(frozen=True)
+class _GlobalLink:
+    """One directed global channel endpoint resolution."""
+
+    peer_group: int
+    peer_router: int
+    peer_link: int
+
+
+class DragonflyTopology:
+    """Balanced dragonfly (a = 2p, h = p) for at least ``n_nodes`` nodes."""
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise TopologyError("p must be >= 1")
+        self.p = p
+        self.a = 2 * p
+        self.h = p
+        self.groups = self.a * self.h + 1
+        self.n_nodes = self.p * self.a * self.groups
+        self.routers_per_group = self.a
+        self.n_routers = self.a * self.groups
+        self.radix = self.p + (self.a - 1) + self.h
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int) -> "DragonflyTopology":
+        """Smallest balanced dragonfly with at least ``n_nodes`` nodes."""
+        if n_nodes < 2:
+            raise TopologyError("need at least 2 nodes")
+        p = 1
+        while cls(p).n_nodes < n_nodes:
+            p += 1
+        return cls(p)
+
+    # -- id mapping -----------------------------------------------------------
+
+    def router_of_node(self, node: int) -> Tuple[int, int]:
+        """(group, local router index) hosting ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} out of range")
+        router = node // self.p
+        return router // self.a, router % self.a
+
+    def router_id(self, group: int, local: int) -> int:
+        """Flat router id."""
+        if not 0 <= group < self.groups or not 0 <= local < self.a:
+            raise TopologyError(f"invalid router ({group}, {local})")
+        return group * self.a + local
+
+    def nodes_of_router(self, group: int, local: int) -> range:
+        """Terminal node ids attached to a router."""
+        base = (group * self.a + local) * self.p
+        return range(base, base + self.p)
+
+    # -- global channel assignment ---------------------------------------------
+
+    def global_peer(self, group: int, local: int, link: int) -> _GlobalLink:
+        """Resolve global channel ``link`` of router (group, local)."""
+        if not 0 <= link < self.h:
+            raise TopologyError(f"global link {link} out of range")
+        channel = local * self.h + link
+        peer_group = channel if channel < group else channel + 1
+        # The reverse channel in peer_group that points back at ``group``.
+        back_channel = group if group < peer_group else group - 1
+        return _GlobalLink(
+            peer_group=peer_group,
+            peer_router=back_channel // self.h,
+            peer_link=back_channel % self.h,
+        )
+
+    def gateway_router(self, src_group: int, dst_group: int) -> Tuple[int, int]:
+        """(router local index, link index) in ``src_group`` owning the
+        global channel to ``dst_group``."""
+        if src_group == dst_group:
+            raise TopologyError("groups must differ")
+        channel = dst_group if dst_group < src_group else dst_group - 1
+        return channel // self.h, channel % self.h
+
+    # -- path helpers -----------------------------------------------------------
+
+    def minimal_path_groups(
+        self, src_group: int, dst_group: int
+    ) -> List[int]:
+        """Group sequence of the minimal path."""
+        if src_group == dst_group:
+            return [src_group]
+        return [src_group, dst_group]
+
+    def minimal_hop_count(self, src: int, dst: int) -> int:
+        """Router-to-router hops on the minimal path (l-g-l worst case)."""
+        (sg, sl), (dg, dl) = self.router_of_node(src), self.router_of_node(dst)
+        if (sg, sl) == (dg, dl):
+            return 0
+        if sg == dg:
+            return 1
+        gw_local, _ = self.gateway_router(sg, dg)
+        peer = self.global_peer(sg, gw_local, self.gateway_router(sg, dg)[1])
+        hops = 1  # the global hop
+        if gw_local != sl:
+            hops += 1
+        if peer.peer_router != dl:
+            hops += 1
+        return hops
+
+    def describe(self) -> str:
+        """Human-readable configuration summary."""
+        return (
+            f"dragonfly p={self.p} a={self.a} h={self.h} "
+            f"groups={self.groups} nodes={self.n_nodes} radix={self.radix}"
+        )

@@ -1,0 +1,108 @@
+"""Three-level fat-tree topology [17] with full bisection bandwidth.
+
+A k-ary fat-tree has k pods, each with k/2 edge and k/2 aggregation
+switches; (k/2)^2 core switches connect the pods.  Every switch has radix
+k, and the network supports k^3/4 hosts: k = 16 hosts 1,024 nodes with
+radix-16 switches, k = 80 hosts 128,000 (the Sec. II-A example), and
+k = 160 hosts 1,024,000 (the '16 to 160' radix growth of Sec. VI-A).
+
+Link levels carry the Table VI delays: level 1 edge<->host (10 ns), level 2
+edge<->aggregation (50 ns), level 3 aggregation<->core (100 ns).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["FatTreeTopology"]
+
+
+class FatTreeTopology:
+    """k-ary 3-level fat-tree (k even)."""
+
+    def __init__(self, k: int):
+        if k < 2 or k % 2:
+            raise TopologyError(f"k must be even and >= 2, got {k}")
+        self.k = k
+        self.half = k // 2
+        self.n_pods = k
+        self.n_nodes = k**3 // 4
+        self.edge_per_pod = self.half
+        self.agg_per_pod = self.half
+        self.n_core = self.half * self.half
+        self.n_switches = k * k + self.n_core  # k pods x (k/2+k/2) + core
+        self.radix = k
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int) -> "FatTreeTopology":
+        """Smallest fat-tree with at least ``n_nodes`` hosts."""
+        if n_nodes < 2:
+            raise TopologyError("need at least 2 nodes")
+        k = 2
+        while cls(k).n_nodes < n_nodes:
+            k += 2
+        return cls(k)
+
+    # -- id mapping -------------------------------------------------------------
+    # Hosts are numbered pod-major: host = pod*(k^2/4) + edge*(k/2) + slot.
+
+    def locate_host(self, host: int) -> Tuple[int, int, int]:
+        """(pod, edge switch index within pod, slot) of ``host``."""
+        if not 0 <= host < self.n_nodes:
+            raise TopologyError(f"host {host} out of range")
+        per_pod = self.k * self.k // 4
+        pod, rest = divmod(host, per_pod)
+        edge, slot = divmod(rest, self.half)
+        return pod, edge, slot
+
+    def host_id(self, pod: int, edge: int, slot: int) -> int:
+        """Inverse of :meth:`locate_host`."""
+        if not (
+            0 <= pod < self.k and 0 <= edge < self.half and 0 <= slot < self.half
+        ):
+            raise TopologyError(f"invalid host location ({pod},{edge},{slot})")
+        return pod * (self.k * self.k // 4) + edge * self.half + slot
+
+    # -- connectivity -------------------------------------------------------------
+
+    def cores_above_agg(self, agg: int) -> range:
+        """Core switch indices reachable from aggregation index ``agg``
+        (same for every pod): cores agg*(k/2) .. agg*(k/2)+k/2-1."""
+        if not 0 <= agg < self.half:
+            raise TopologyError(f"agg index {agg} out of range")
+        return range(agg * self.half, (agg + 1) * self.half)
+
+    def agg_below_core(self, core: int) -> int:
+        """The aggregation index (in every pod) a core connects down to."""
+        if not 0 <= core < self.n_core:
+            raise TopologyError(f"core {core} out of range")
+        return core // self.half
+
+    def same_edge(self, a: int, b: int) -> bool:
+        """True when two hosts share an edge switch."""
+        pa, ea, _ = self.locate_host(a)
+        pb, eb, _ = self.locate_host(b)
+        return (pa, ea) == (pb, eb)
+
+    def same_pod(self, a: int, b: int) -> bool:
+        """True when two hosts share a pod."""
+        return self.locate_host(a)[0] == self.locate_host(b)[0]
+
+    def minimal_hop_count(self, a: int, b: int) -> int:
+        """Switch hops between two hosts (1, 3, or 5)."""
+        if a == b:
+            return 0
+        if self.same_edge(a, b):
+            return 1
+        if self.same_pod(a, b):
+            return 3
+        return 5
+
+    def describe(self) -> str:
+        """Human-readable configuration summary."""
+        return (
+            f"fat-tree k={self.k} pods={self.n_pods} nodes={self.n_nodes} "
+            f"switches={self.n_switches} radix={self.radix}"
+        )

@@ -1,0 +1,31 @@
+"""The ideal reference network: infinite bandwidth, flat latency.
+
+Table VI: every packet is delivered exactly 200 ns after it is created,
+regardless of load, size, or destination.  Used as the lower bound in
+Fig. 6/7 ('Baldur's average packet latency is only 1.7X-3.4X higher').
+"""
+
+from __future__ import annotations
+
+from repro import constants as C
+from repro.errors import TopologyError
+
+__all__ = ["IdealTopology"]
+
+
+class IdealTopology:
+    """A topology-free ideal network of ``n_nodes``."""
+
+    def __init__(
+        self, n_nodes: int, latency_ns: float = C.IDEAL_PACKET_LATENCY_NS
+    ):
+        if n_nodes < 2:
+            raise TopologyError("need at least 2 nodes")
+        if latency_ns <= 0:
+            raise TopologyError("latency must be positive")
+        self.n_nodes = n_nodes
+        self.latency_ns = latency_ns
+
+    def describe(self) -> str:
+        """Human-readable configuration summary."""
+        return f"ideal nodes={self.n_nodes} latency={self.latency_ns}ns"

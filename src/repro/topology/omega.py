@@ -1,0 +1,99 @@
+"""Omega network topology [42] as an alternative Baldur substrate.
+
+Sec. IV notes Baldur should 'achieve similar results with other
+multi-stage topologies (e.g., Benes, Omega)' since many multi-stage
+networks are largely isomorphic [43].  This module provides the classic
+omega network behind the same interface as
+:class:`~repro.topology.butterfly.MultiButterflyTopology`, so
+:class:`~repro.core.baldur_network.BaldurNetwork` can be built on either.
+
+Structure: log2(N) identical stages of N/2 switches connected by perfect
+shuffles (rotate-left of the wire address).  Destination-tag routing
+consumes the destination MSB first, exactly like the multi-butterfly, so
+the same length-encoded routing bits work unchanged.  Unlike the
+randomized multi-butterfly, the omega wiring is *deterministic*: with
+multiplicity m, the m ports of a direction all reach the same next-stage
+switch, so the network has no expansion property -- the ablation bench
+uses this to quantify what randomization buys (Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import TopologyError
+
+__all__ = ["OmegaTopology"]
+
+
+class OmegaTopology:
+    """Omega network for ``n_nodes`` (a power of two >= 4)."""
+
+    def __init__(self, n_nodes: int, multiplicity: int = 1, seed: int = 0):
+        if n_nodes < 4 or n_nodes & (n_nodes - 1):
+            raise TopologyError(
+                f"node count must be a power of two >= 4, got {n_nodes}"
+            )
+        if multiplicity < 1:
+            raise TopologyError("multiplicity must be >= 1")
+        self.n_nodes = n_nodes
+        self.multiplicity = multiplicity
+        self.seed = seed  # unused: omega wiring is deterministic
+        self.n_stages = n_nodes.bit_length() - 1
+        self.switches_per_stage = n_nodes // 2
+
+    def _shuffle(self, wire: int) -> int:
+        """Perfect shuffle: rotate the wire address left by one bit."""
+        msb = (wire >> (self.n_stages - 1)) & 1
+        return ((wire << 1) | msb) & (self.n_nodes - 1)
+
+    def entry_switch(self, node: int) -> int:
+        """Hosts pass through one shuffle before stage 0."""
+        self._check_node(node)
+        return self._shuffle(node) // 2
+
+    def routing_bit(self, dst: int, stage: int) -> int:
+        """Destination-tag routing, MSB first (same as multi-butterfly)."""
+        self._check_node(dst)
+        if not 0 <= stage < self.n_stages:
+            raise TopologyError(f"stage {stage} out of range")
+        return (dst >> (self.n_stages - 1 - stage)) & 1
+
+    def routing_bits(self, dst: int) -> List[int]:
+        """All routing bits for a packet headed to ``dst``."""
+        return [self.routing_bit(dst, s) for s in range(self.n_stages)]
+
+    def next_switches(self, stage: int, switch: int, bit: int) -> Sequence[int]:
+        """The next-stage switch (or host) reached in direction ``bit``.
+
+        All m ports lead to the same place: omega has exactly one path
+        between every (source, destination) pair.
+        """
+        wire = 2 * switch + bit
+        if self.is_last_stage(stage):
+            return [wire] * self.multiplicity
+        return [self._shuffle(wire) // 2] * self.multiplicity
+
+    def is_last_stage(self, stage: int) -> bool:
+        """True when ``stage`` connects to hosts."""
+        return stage == self.n_stages - 1
+
+    def deterministic_path(self, src: int, dst: int) -> List[int]:
+        """Switch indices visited from ``src`` to ``dst`` (unique path)."""
+        path = []
+        switch = self.entry_switch(src)
+        for stage in range(self.n_stages):
+            path.append(switch)
+            switch = self.next_switches(
+                stage, switch, self.routing_bit(dst, stage)
+            )[0]
+        return path
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.n_nodes})")
+
+    @property
+    def total_switches(self) -> int:
+        """Total 2x2 switches in the network."""
+        return self.n_stages * self.switches_per_stage

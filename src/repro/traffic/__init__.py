@@ -1,0 +1,45 @@
+"""Traffic patterns, HPC workload traces, and workload drivers (Sec. V-A)."""
+
+from repro.traffic.hpc import (
+    HPC_WORKLOADS,
+    amg_trace,
+    crystal_router_trace,
+    fillboundary_trace,
+    multigrid_trace,
+    replay_trace,
+)
+from repro.traffic.injection import (
+    inject_open_loop,
+    mean_interarrival_ns,
+    run_ping_pong,
+)
+from repro.traffic.patterns import (
+    SYNTHETIC_PATTERNS,
+    bisection,
+    group_permutation,
+    hotspot,
+    ping_pong1_pairs,
+    ping_pong2_pairs,
+    random_permutation,
+    transpose,
+)
+
+__all__ = [
+    "HPC_WORKLOADS",
+    "amg_trace",
+    "crystal_router_trace",
+    "fillboundary_trace",
+    "multigrid_trace",
+    "replay_trace",
+    "inject_open_loop",
+    "mean_interarrival_ns",
+    "run_ping_pong",
+    "SYNTHETIC_PATTERNS",
+    "bisection",
+    "group_permutation",
+    "hotspot",
+    "ping_pong1_pairs",
+    "ping_pong2_pairs",
+    "random_permutation",
+    "transpose",
+]

@@ -1,0 +1,98 @@
+"""Workload drivers: open-loop injection and closed-loop ping-pong.
+
+Open loop (Sec. V-A, Eq. 1): each transmitter sends ``packets_per_node``
+packets to its pattern destination with exponentially distributed
+inter-packet gaps whose mean is ``packet_size / (input_load * link_rate)``,
+so ``input_load`` is the fraction of time the transmitter is busy.
+
+Closed loop: ping-pong workloads send the next packet only after receiving
+one from the partner, which serializes the dependency chain and makes
+per-packet latency the dominant performance factor (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro import constants as C
+from repro.errors import ConfigurationError
+from repro.netsim.network import NetworkSimulator
+from repro.netsim.stats import LatencyStats
+from repro.sim.rand import stream
+
+__all__ = ["inject_open_loop", "run_ping_pong", "mean_interarrival_ns"]
+
+
+def mean_interarrival_ns(
+    input_load: float,
+    packet_size_bytes: int = C.PACKET_SIZE_BYTES,
+    link_rate_gbps: float = C.LINK_DATA_RATE_GBPS,
+) -> float:
+    """Eq. 1: mean time between packet generations at a transmitter."""
+    if not 0 < input_load <= 1:
+        raise ConfigurationError(f"input load must be in (0, 1], got {input_load}")
+    tx_time = C.packet_serialization_ns(packet_size_bytes, link_rate_gbps)
+    return tx_time / input_load
+
+
+def inject_open_loop(
+    network: NetworkSimulator,
+    destinations: Dict[int, int],
+    input_load: float,
+    packets_per_node: int,
+    seed: int = 0,
+    packet_size_bytes: int = C.PACKET_SIZE_BYTES,
+) -> None:
+    """Schedule the full open-loop workload onto ``network``.
+
+    Every transmitter in ``destinations`` independently draws exponential
+    inter-arrival gaps (Sec. V-A).
+    """
+    if packets_per_node < 1:
+        raise ConfigurationError("packets_per_node must be >= 1")
+    mean_gap = mean_interarrival_ns(
+        input_load, packet_size_bytes
+    )
+    for src, dst in destinations.items():
+        rng = stream(seed, f"open-loop-{src}")
+        t = 0.0
+        for _ in range(packets_per_node):
+            t += rng.expovariate(1.0 / mean_gap)
+            network.submit(src, dst, size_bytes=packet_size_bytes, time=t)
+
+
+def run_ping_pong(
+    network: NetworkSimulator,
+    pairs: Iterable[Tuple[int, int]],
+    rounds: int,
+    packet_size_bytes: int = C.PACKET_SIZE_BYTES,
+    until: Optional[float] = None,
+) -> LatencyStats:
+    """Closed-loop ping-pong: each pair exchanges ``rounds`` round trips.
+
+    Node A sends to B; on receipt B immediately replies; repeat.  Returns
+    the network's stats after running.
+    """
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    pair_list = list(pairs)
+    if not pair_list:
+        raise ConfigurationError("ping-pong needs at least one pair")
+    remaining = {}
+    for a, b in pair_list:
+        remaining[(a, b)] = rounds
+        remaining[(b, a)] = rounds
+
+    def hook(packet, time):
+        key = (packet.dst, packet.src)
+        left = remaining.get(key, 0)
+        if left > 0:
+            remaining[key] = left - 1
+            network.submit(
+                packet.dst, packet.src, size_bytes=packet_size_bytes, time=time
+            )
+
+    network.receive_hook = hook
+    for a, b in pair_list:
+        network.submit(a, b, size_bytes=packet_size_bytes, time=0.0)
+    return network.run(until=until)

@@ -1,0 +1,152 @@
+"""The seven synthetic traffic patterns of Sec. V-A.
+
+Each pattern is a destination assignment: a dict ``{src: dst}`` (nodes with
+no entry stay silent).  Group-aware patterns (group_permutation,
+ping_pong2) are constructed against the dragonfly grouping of the same
+node count and then applied verbatim to every network, exactly as the
+paper does ('the same transmitter/receiver node pairs are applied to all
+other networks').
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.rand import stream
+from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = [
+    "random_permutation",
+    "transpose",
+    "bisection",
+    "group_permutation",
+    "hotspot",
+    "ping_pong1_pairs",
+    "ping_pong2_pairs",
+    "SYNTHETIC_PATTERNS",
+]
+
+
+def _check_n(n: int, minimum: int = 2) -> None:
+    if n < minimum:
+        raise ConfigurationError(f"need at least {minimum} nodes, got {n}")
+
+
+def random_permutation(n: int, seed: int = 0) -> Dict[int, int]:
+    """Nodes paired for transmission by a fixed-point-free permutation."""
+    _check_n(n)
+    rng = stream(seed, "pattern-random-permutation")
+    while True:
+        perm = list(range(n))
+        rng.shuffle(perm)
+        if all(perm[i] != i for i in range(n)):
+            return dict(enumerate(perm))
+
+
+def transpose(n: int) -> Dict[int, int]:
+    """Address-halves swap: a_{n-1}..a_{n/2} a_{n/2-1}..a_0 ->
+    a_{n/2-1}..a_0 a_{n-1}..a_{n/2} (Sec. V-A).  Fixed points stay silent.
+    """
+    _check_n(n, 4)
+    if n & (n - 1):
+        raise ConfigurationError("transpose requires a power-of-two node count")
+    bits = n.bit_length() - 1
+    half = bits // 2
+    result = {}
+    for src in range(n):
+        low = src & ((1 << half) - 1)
+        high = src >> half
+        dst = (low << (bits - half)) | high
+        if dst != src:
+            result[src] = dst
+    return result
+
+
+def bisection(n: int, seed: int = 0) -> Dict[int, int]:
+    """Each half of the machine paired with the other half randomly."""
+    _check_n(n, 4)
+    if n % 2:
+        raise ConfigurationError("bisection requires an even node count")
+    rng = stream(seed, "pattern-bisection")
+    half = n // 2
+    partners = list(range(half, n))
+    rng.shuffle(partners)
+    result = {}
+    for src in range(half):
+        result[src] = partners[src]
+        result[partners[src]] = src
+    return result
+
+
+def group_permutation(n: int, seed: int = 0) -> Dict[int, int]:
+    """Dragonfly groups paired by a random permutation; each node sends to
+    a random node of its partner group (Sec. V-A)."""
+    _check_n(n, 4)
+    topo = DragonflyTopology.for_nodes(n)
+    rng = stream(seed, "pattern-group-permutation")
+    per_group = topo.p * topo.a
+    # Groups that actually contain active (< n) nodes.
+    active_groups = [g for g in range(topo.groups) if g * per_group < n]
+    partner = active_groups[:]
+    while True:
+        rng.shuffle(partner)
+        if all(a != b for a, b in zip(active_groups, partner)):
+            break
+    group_of = dict(zip(active_groups, partner))
+    result = {}
+    for src in range(n):
+        target_group = group_of[src // per_group]
+        lo = target_group * per_group
+        hi = min(lo + per_group, n)
+        if hi <= lo:
+            continue
+        result[src] = rng.randrange(lo, hi)
+    return result
+
+
+def hotspot(n: int, target: int = 0) -> Dict[int, int]:
+    """All nodes send to one destination (Sec. V-A)."""
+    _check_n(n)
+    if not 0 <= target < n:
+        raise ConfigurationError(f"hotspot target {target} out of range")
+    return {src: target for src in range(n) if src != target}
+
+
+def ping_pong1_pairs(n: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """Random disjoint node pairs for the ping_pong1 workload."""
+    _check_n(n, 2)
+    rng = stream(seed, "pattern-ping-pong1")
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    return [
+        (nodes[i], nodes[i + 1]) for i in range(0, n - 1, 2)
+    ]
+
+
+def ping_pong2_pairs(n: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """Pairs drawn across one specific dragonfly group boundary: nodes of
+    group A paired with nodes of group B (Sec. V-A).  This funnels all
+    traffic through the few global channels between two groups, the
+    adversarial case for dragonfly."""
+    _check_n(n, 4)
+    topo = DragonflyTopology.for_nodes(n)
+    per_group = topo.p * topo.a
+    if n < 2 * per_group:
+        # Degenerate small networks: fall back to halves.
+        per_group = n // 2
+    group_a = range(0, per_group)
+    group_b = range(per_group, 2 * per_group)
+    return [(a, b) for a, b in zip(group_a, group_b) if b < n]
+
+
+SYNTHETIC_PATTERNS = (
+    "random_permutation",
+    "transpose",
+    "bisection",
+    "group_permutation",
+    "hotspot",
+    "ping_pong1",
+    "ping_pong2",
+)
+"""Names of the seven synthetic patterns of Sec. V-A."""

@@ -1,0 +1,90 @@
+"""Trace serialization: save and load workload traces as JSON.
+
+Lets users capture the synthetic Design-Forward-style traces (or author
+their own) and replay them later -- the equivalent of distributing DUMPI
+trace files with the artifact.  The format is deliberately simple::
+
+    {
+      "workload": "AMG",
+      "n_ranks": 64,
+      "rounds": [
+        [[src, dst, size_bytes], ...],   # round 0
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["save_trace", "load_trace"]
+
+Round = List[Tuple[int, int, int]]
+Trace = List[Round]
+
+
+def save_trace(
+    trace: Trace,
+    path: Union[str, Path],
+    workload: str = "custom",
+    n_ranks: Optional[int] = None,
+) -> None:
+    """Write a trace to ``path`` as JSON."""
+    if not trace:
+        raise ConfigurationError("refusing to save an empty trace")
+    if n_ranks is None:
+        n_ranks = 1 + max(
+            max(src, dst) for messages in trace for src, dst, _ in messages
+        )
+    document = {
+        "workload": workload,
+        "n_ranks": n_ranks,
+        "rounds": [
+            [[src, dst, size] for src, dst, size in messages]
+            for messages in trace
+        ],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_trace(path: Union[str, Path]) -> Tuple[Trace, str, int]:
+    """Read a trace; returns (trace, workload name, rank count).
+
+    Validates structure and endpoint ranges so that replaying a corrupt
+    file fails here rather than mid-simulation.
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read trace file: {exc}") from exc
+    for key in ("workload", "n_ranks", "rounds"):
+        if key not in document:
+            raise ConfigurationError(f"trace file missing {key!r}")
+    n_ranks = document["n_ranks"]
+    trace: Trace = []
+    for index, messages in enumerate(document["rounds"]):
+        round_messages: Round = []
+        for entry in messages:
+            if len(entry) != 3:
+                raise ConfigurationError(
+                    f"round {index}: message must be [src, dst, size]"
+                )
+            src, dst, size = entry
+            if not (0 <= src < n_ranks and 0 <= dst < n_ranks):
+                raise ConfigurationError(
+                    f"round {index}: endpoints ({src}, {dst}) out of range"
+                )
+            if size <= 0:
+                raise ConfigurationError(
+                    f"round {index}: non-positive message size {size}"
+                )
+            round_messages.append((src, dst, size))
+        trace.append(round_messages)
+    if not trace:
+        raise ConfigurationError("trace file has no rounds")
+    return trace, document["workload"], n_ranks

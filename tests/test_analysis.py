@@ -1,0 +1,132 @@
+"""Tests for the experiment drivers and table formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    NETWORK_NAMES,
+    build_network,
+    figure6,
+    figure7,
+    format_latency_grid,
+    format_table,
+    normalize_to,
+    pattern_destinations,
+    run_open_loop,
+    table5,
+)
+from repro.core import BaldurNetwork
+from repro.electrical import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    IdealNetwork,
+    MultiButterflyNetwork,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBuildNetwork:
+    def test_all_names_construct(self):
+        classes = {
+            "baldur": BaldurNetwork,
+            "multibutterfly": MultiButterflyNetwork,
+            "dragonfly": DragonflyNetwork,
+            "fattree": FatTreeNetwork,
+            "ideal": IdealNetwork,
+        }
+        for name in NETWORK_NAMES:
+            assert isinstance(build_network(name, 32), classes[name])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_network("torus", 32)
+
+    def test_pattern_destinations(self):
+        for pattern in (
+            "random_permutation", "transpose", "bisection",
+            "group_permutation", "hotspot",
+        ):
+            dests = pattern_destinations(pattern, 64, seed=1)
+            assert dests
+            assert all(0 <= d < 64 for d in dests.values())
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pattern_destinations("tornado", 64)
+
+
+class TestDrivers:
+    def test_run_open_loop_returns_stats(self):
+        stats = run_open_loop("ideal", 16, "random_permutation", 0.5, 5)
+        assert stats.delivered == 80
+        assert stats.average_latency == pytest.approx(200.0)
+
+    def test_figure6_structure(self):
+        results = figure6(
+            n_nodes=16,
+            loads=(0.5,),
+            patterns=("random_permutation",),
+            packets_per_node=3,
+            networks=("baldur", "ideal"),
+        )
+        stats = results["random_permutation"]["baldur"][0.5]
+        assert stats.delivered > 0
+        assert results["random_permutation"]["ideal"][0.5].average_latency \
+            == pytest.approx(200.0)
+
+    def test_figure7_structure(self):
+        results = figure7(
+            n_nodes=16,
+            packets_per_node=4,
+            ping_pong_rounds=2,
+            networks=("baldur", "ideal"),
+        )
+        assert set(results) == {
+            "hotspot", "ping_pong1", "ping_pong2",
+            "AMG", "CrystalRouter", "MultiGrid", "FB",
+        }
+        for workload, per_net in results.items():
+            assert per_net["baldur"].delivered > 0, workload
+
+    def test_table5_rows(self):
+        rows = table5(
+            n_nodes=16, multiplicities=(1, 2), packets_per_node=5
+        )
+        assert [r["multiplicity"] for r in rows] == [1, 2]
+        assert rows[0]["gates_per_switch"] == 64
+        assert rows[0]["drop_rate_pct"] >= rows[1]["drop_rate_pct"]
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", float("nan")]])
+        assert "a" in text and "x" in text and "-" in text
+
+    def test_format_table_title(self):
+        assert format_table(["a"], [[1]], title="T").startswith("T")
+
+    def test_small_floats_scientific(self):
+        text = format_table(["p"], [[1.3e-9]])
+        assert "e-09" in text
+
+    def test_format_latency_grid(self):
+        class FakeStats:
+            average_latency = 123.0
+
+        text = format_latency_grid(
+            {"baldur": {0.5: FakeStats()}}, title="grid"
+        )
+        assert "baldur" in text and "123" in text
+
+    def test_normalize_to(self):
+        normed = normalize_to({"a": 10.0, "b": 20.0}, "a")
+        assert normed == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalize_to({"a": 1.0}, "z")
+
+    def test_normalize_zero_reference(self):
+        with pytest.raises(ValueError):
+            normalize_to({"a": 0.0}, "a")

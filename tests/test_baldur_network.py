@@ -1,0 +1,158 @@
+"""Tests for the Baldur bufferless network simulator (Sec. IV/V)."""
+
+import random
+
+import pytest
+
+from repro import constants as C
+from repro.core import BaldurNetwork
+from repro.errors import ConfigurationError
+
+
+def run_permutation(net, n, packets_per_node=10, gap_ns=500.0, seed=0):
+    rng = random.Random(seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    for src in range(n):
+        dst = perm[src] if perm[src] != src else (src + 1) % n
+        for j in range(packets_per_node):
+            net.submit(src, dst, time=j * gap_ns)
+    return net.run(until=100_000_000)
+
+
+class TestBasicDelivery:
+    def test_single_packet_latency(self):
+        # Unloaded: 2 x 100 ns links + stages x switch latency + tx time.
+        net = BaldurNetwork(64, multiplicity=4, seed=0)
+        net.submit(0, 33, time=0.0)
+        stats = net.run()
+        expected = 2 * 100 + 6 * 1.5 + 204.8
+        assert stats.average_latency == pytest.approx(expected, rel=0.01)
+
+    def test_switch_latency_from_table5(self):
+        assert BaldurNetwork(64, multiplicity=4).switch_latency_ns == 1.5
+        assert BaldurNetwork(64, multiplicity=2).switch_latency_ns == 0.49
+
+    def test_all_delivered_with_retransmission(self):
+        net = BaldurNetwork(64, multiplicity=3, seed=1)
+        stats = run_permutation(net, 64, packets_per_node=20, gap_ns=300.0)
+        assert stats.delivered == stats.injected
+        assert net.lost_packets == 0
+
+    def test_much_faster_than_electrical_unloaded(self):
+        from repro.electrical import MultiButterflyNetwork
+        baldur = BaldurNetwork(64, multiplicity=4, seed=0)
+        baldur.submit(0, 33, time=0.0)
+        emb = MultiButterflyNetwork(64, multiplicity=4, seed=0)
+        emb.submit(0, 33, time=0.0)
+        lb = baldur.run().average_latency
+        le = emb.run().average_latency
+        # 90 ns vs 1.5 ns switch latency across 6 stages.
+        assert le - lb > 6 * 80
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BaldurNetwork(64, max_attempts=0)
+
+    def test_describe(self):
+        assert "baldur" in BaldurNetwork(64).describe()
+
+
+class TestDropsAndRetransmission:
+    def test_head_on_collision_drops_one(self):
+        # m=1: two simultaneous packets that share every stage-0 resource.
+        net = BaldurNetwork(
+            4, multiplicity=1, seed=0, enable_retransmission=False
+        )
+        net.submit(0, 2, time=0.0)
+        net.submit(1, 2, time=0.0)  # same entry switch, same direction
+        stats = net.run()
+        assert stats.delivered == 1
+        assert stats.drops == 1
+
+    def test_multiplicity_two_resolves_collision(self):
+        net = BaldurNetwork(
+            4, multiplicity=2, seed=0, enable_retransmission=False
+        )
+        net.submit(0, 2, time=0.0)
+        net.submit(1, 2, time=0.0)
+        stats = net.run()
+        # Both fit through the two physical ports of the direction -- but
+        # they then collide at the final stage's host direction only if
+        # wired to the same last-stage port at the same instant; with m=2
+        # both ports exist there too, so both deliver.
+        assert stats.delivered == 2
+
+    def test_retransmission_recovers_drop(self):
+        net = BaldurNetwork(4, multiplicity=1, seed=0)
+        net.submit(0, 2, time=0.0)
+        net.submit(1, 2, time=0.0)
+        stats = net.run(until=1_000_000)
+        assert stats.delivered == 2
+        assert stats.retransmissions >= 1
+
+    def test_drop_rate_decreases_with_multiplicity(self):
+        rates = []
+        for m in (1, 2, 3):
+            net = BaldurNetwork(
+                64, multiplicity=m, seed=2, enable_retransmission=False
+            )
+            stats = run_permutation(net, 64, packets_per_node=30, gap_ns=250.0)
+            rates.append(stats.drop_rate)
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_retx_buffer_tracks_occupancy(self):
+        net = BaldurNetwork(64, multiplicity=1, seed=3)
+        run_permutation(net, 64, packets_per_node=10, gap_ns=250.0)
+        assert net.peak_retx_buffer_kb > 0
+        # Sec. IV-E: 536 KB suffices; we must stay well under 1 MB.
+        assert net.peak_retx_buffer_kb < C.RETX_BUFFER_PROVISIONED_MB * 1024
+
+    def test_max_attempts_gives_up(self):
+        # A 4-node m=1 network with both flows forced through one port and
+        # retransmission capped: eventually gives up and counts the loss.
+        net = BaldurNetwork(4, multiplicity=1, seed=0, max_attempts=1)
+        net.submit(0, 2, time=0.0)
+        net.submit(1, 2, time=0.0)
+        net.run(until=1_000_000)
+        assert net.lost_packets == 1
+
+    def test_acks_consume_nic_time(self):
+        # The receiver's ACK shares its NIC with its own data traffic.
+        net = BaldurNetwork(8, multiplicity=2, seed=0)
+        net.submit(0, 5, time=0.0)
+        net.run(until=1_000_000)
+        assert net._nic_free_at[5] > 0.0
+
+    def test_duplicate_delivery_counted_once(self):
+        # Force an ACK loss so the source retransmits a delivered packet:
+        # the destination must not double-count it.
+        net = BaldurNetwork(4, multiplicity=1, seed=1, timeout_ns=400.0)
+        net.submit(0, 2, time=0.0)
+        net.submit(1, 2, time=0.0)  # collides: one drop, one delivery
+        stats = net.run(until=2_000_000)
+        assert stats.delivered == 2
+        assert len(net._delivered_pids) == 2
+
+
+class TestLatencyUnderLoad:
+    def test_latency_grows_with_load(self):
+        light = run_permutation(
+            BaldurNetwork(64, 4, seed=1), 64, 10, gap_ns=2000.0
+        )
+        heavy = run_permutation(
+            BaldurNetwork(64, 4, seed=1), 64, 10, gap_ns=220.0
+        )
+        assert heavy.average_latency > light.average_latency
+
+    def test_close_to_ideal_at_low_load(self):
+        # Sec. V-B: Baldur's average latency is 1.7-3.4X the ideal 200 ns.
+        stats = run_permutation(
+            BaldurNetwork(64, 4, seed=1), 64, 10, gap_ns=2000.0
+        )
+        assert stats.average_latency < 3.4 * C.IDEAL_PACKET_LATENCY_NS
+
+    def test_deterministic_given_seed(self):
+        a = run_permutation(BaldurNetwork(64, 3, seed=9), 64, 5)
+        b = run_permutation(BaldurNetwork(64, 3, seed=9), 64, 5)
+        assert a.latencies == b.latencies

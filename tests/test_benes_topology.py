@@ -1,0 +1,121 @@
+"""Tests for the Benes topology (Sec. IV alternative substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BaldurNetwork
+from repro.errors import TopologyError
+from repro.topology import BenesTopology
+
+
+class TestBenesStructure:
+    def test_stage_count(self):
+        topo = BenesTopology(64)
+        assert topo.n_stages == 11  # 2*6 - 1
+        assert topo.switches_per_stage == 32
+        assert topo.scatter_stages == 5
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            BenesTopology(100)
+        with pytest.raises(TopologyError):
+            BenesTopology(64, multiplicity=0)
+
+    def test_total_switches(self):
+        assert BenesTopology(16).total_switches == 7 * 8
+
+
+class TestBenesRouting:
+    @given(
+        st.integers(0, 63),
+        st.integers(0, 63),
+        st.lists(st.integers(0, 1), min_size=5, max_size=5),
+    )
+    @settings(max_examples=60)
+    def test_any_scatter_bits_deliver(self, src, dst, free_bits):
+        # The Benes property: arbitrary choices in the scatter half still
+        # reach the destination via the destination-tag half.
+        topo = BenesTopology(64)
+        switch = topo.entry_switch(src)
+        bits = 6
+        for stage in range(topo.n_stages):
+            if stage < topo.scatter_stages:
+                bit = free_bits[stage]
+            else:
+                tag = stage - topo.scatter_stages
+                bit = (dst >> (bits - 1 - tag)) & 1
+            switch = topo.next_switches(stage, switch, bit)[0]
+        assert switch == dst
+
+    def test_deterministic_scatter_mode(self):
+        topo = BenesTopology(32, deterministic_scatter=True)
+        for stage in range(topo.scatter_stages):
+            assert topo.routing_bit(7, stage) == 0
+
+    def test_random_scatter_varies(self):
+        topo = BenesTopology(32, seed=1)
+        bits = [topo.routing_bit(7, 0) for _ in range(64)]
+        assert 0 in bits and 1 in bits
+
+    def test_deterministic_path_delivers(self):
+        topo = BenesTopology(32, deterministic_scatter=True)
+        path = topo.deterministic_path(3, 29)
+        assert len(path) == topo.n_stages
+
+    def test_routing_bit_bounds(self):
+        topo = BenesTopology(16)
+        with pytest.raises(TopologyError):
+            topo.routing_bit(3, 99)
+
+
+class TestBaldurOnBenes:
+    def test_single_packet_delivered(self):
+        topo = BenesTopology(32, multiplicity=2, seed=4)
+        net = BaldurNetwork(32, multiplicity=2, topology=topo)
+        net.submit(0, 21, time=0.0)
+        stats = net.run()
+        assert stats.delivered == 1
+
+    def test_benes_latency_reflects_extra_stages(self):
+        # 2S-1 stages vs S: Benes pays ~double the switching latency.
+        benes = BaldurNetwork(
+            32, multiplicity=2,
+            topology=BenesTopology(32, multiplicity=2),
+        )
+        butterfly = BaldurNetwork(32, multiplicity=2, seed=0)
+        benes.submit(0, 21, time=0.0)
+        butterfly.submit(0, 21, time=0.0)
+        lb = benes.run().average_latency
+        lf = butterfly.run().average_latency
+        assert lb > lf
+        # 32 nodes: S=5 -> Benes has 9 stages vs the butterfly's 5.
+        assert lb - lf == pytest.approx((9 - 5) * 0.49, abs=0.5)
+
+    def test_permutation_workload_on_benes(self):
+        import random
+        topo = BenesTopology(32, multiplicity=3, seed=2)
+        net = BaldurNetwork(32, multiplicity=3, topology=topo, seed=2)
+        rng = random.Random(0)
+        perm = list(range(32))
+        rng.shuffle(perm)
+        for src in range(32):
+            dst = perm[src] if perm[src] != src else (src + 1) % 32
+            for j in range(10):
+                net.submit(src, dst, time=j * 400.0)
+        stats = net.run(until=50_000_000)
+        assert stats.delivered == stats.injected
+
+    def test_scatter_randomization_spreads_paths(self):
+        # Same (src, dst) pair twice: the scatter half should (usually)
+        # take different switches -- Valiant load balancing in action.
+        topo = BenesTopology(64, multiplicity=1, seed=9)
+        net = BaldurNetwork(
+            64, multiplicity=1, topology=topo,
+            enable_retransmission=False,
+        )
+        net.record_paths = True
+        p1 = net.submit(0, 33, time=0.0)
+        p2 = net.submit(0, 33, time=100_000.0)
+        net.run()
+        assert net.paths[p1.pid] != net.paths[p2.pid]

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if hasattr(a, "choices") and a.choices
+        )
+        assert set(sub.choices) == {
+            "table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "drop-model", "packaging", "awgr", "diagnose",
+        }
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCommands:
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out and "0.406" in out
+
+    def test_table5_small(self, capsys):
+        assert main(["table5", "--nodes", "16", "--packets", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "1112" in out  # the m=4 gate count
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "baldur" in out and "dragonfly" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "pessimistic" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "interposer" in capsys.readouterr().out
+
+    def test_drop_model_small(self, capsys):
+        assert main(["drop-model", "--nodes", "64", "--trials", "1"]) == 0
+        assert "drop_%" in capsys.readouterr().out
+
+    def test_packaging(self, capsys):
+        assert main(["packaging"]) == 0
+        assert "cabinets" in capsys.readouterr().out
+
+    def test_awgr(self, capsys):
+        assert main(["awgr"]) == 0
+        assert "awgr" in capsys.readouterr().out.lower()
+
+    def test_diagnose_small(self, capsys):
+        assert main([
+            "diagnose", "--nodes", "32", "--stage", "1",
+            "--switch", "3", "--probes", "120",
+        ]) == 0
+        assert "candidates" in capsys.readouterr().out
+
+    def test_fig6_tiny(self, capsys):
+        assert main([
+            "fig6", "--nodes", "16", "--packets", "3",
+            "--loads", "0.5",
+        ]) == 0
+        assert "average latency" in capsys.readouterr().out
+
+    def test_fig7_tiny(self, capsys):
+        assert main(["fig7", "--nodes", "16", "--packets", "3"]) == 0
+        assert "ping_pong1" in capsys.readouterr().out
+
+    def test_fig6_multi_load_renders_ascii_plot(self, capsys):
+        assert main([
+            "fig6", "--nodes", "16", "--packets", "3",
+            "--loads", "0.3", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "=baldur" in out  # plot legend
+        assert "input load" in out

@@ -1,0 +1,102 @@
+"""Tests for the cost and packaging models (Sec. IV-G / VI-B anchors)."""
+
+import pytest
+
+from repro import constants as C
+from repro.cost import (
+    baldur_cost,
+    fibers_per_interposer_edge,
+    plan_packaging,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPackaging:
+    def test_fibers_per_edge(self):
+        # 32 mm at 127 um pitch -> ~252 fibers.
+        assert fibers_per_interposer_edge() == 251
+
+    def test_one_cabinet_at_1k(self):
+        assert plan_packaging(1024).cabinets == C.CABINETS_AT_1K
+
+    def test_752_cabinets_at_1m(self):
+        plan = plan_packaging(2**20)
+        assert plan.cabinets == pytest.approx(C.CABINETS_AT_1M, abs=10)
+
+    def test_power_only_constraint_is_looser(self):
+        # Sec. IV-G: power alone would need only 176 cabinets at 1M.
+        plan = plan_packaging(2**20)
+        assert plan.cabinets_power_limited < plan.cabinets_fiber_limited
+        assert plan.cabinets_power_limited == pytest.approx(
+            C.CABINETS_AT_1M_POWER_ONLY, rel=0.3
+        )
+
+    def test_tl_area_under_10_pct(self):
+        plan = plan_packaging(1024, multiplicity=4)
+        assert plan.tl_area_fraction_of_interposer < (
+            C.TL_AREA_FRACTION_OF_INTERPOSER
+        )
+
+    def test_multiplicity_follows_scale_rule(self):
+        assert plan_packaging(1024).multiplicity == 4
+        assert plan_packaging(2**20).multiplicity == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_packaging(1000)
+
+    def test_stage_per_column(self):
+        plan = plan_packaging(1024)
+        assert plan.stages == 10
+        assert plan.total_interposers == (
+            plan.stages * plan.interposers_per_column
+        )
+
+
+class TestCostModel:
+    def test_523_usd_per_node_at_1k(self):
+        cost = baldur_cost(1024)
+        assert cost.total == pytest.approx(
+            C.BALDUR_COST_PER_NODE_1K_USD, rel=0.05
+        )
+
+    def test_interposers_dominate(self):
+        # Sec. VI-B: the cost of optical interposers dominates.
+        assert baldur_cost(1024).interposer_fraction > 0.5
+        assert baldur_cost(2**20).interposer_fraction > 0.5
+
+    def test_cheaper_than_fattree_reference(self):
+        # 523 vs 1,992 USD/node for fat-tree, at every swept scale.
+        for n in (1024, 2**14, 2**17, 2**20):
+            assert baldur_cost(n).total < C.FATTREE_COST_PER_NODE_USD
+
+    def test_cheaper_than_ocs_reference(self):
+        assert baldur_cost(2048).total < C.OCS_COST_PER_NODE_USD
+
+    def test_cost_growth_modest(self):
+        # Fig. 10: cost increases only modestly with scale.
+        growth = baldur_cost(2**20).total / baldur_cost(1024).total
+        assert growth < 3.0
+
+    def test_breakdown_sums(self):
+        cost = baldur_cost(1024)
+        assert cost.total == pytest.approx(
+            sum(v for k, v in cost.as_dict().items() if k != "total")
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            baldur_cost(6)
+
+    def test_reduced_fiber_pitch_cuts_cost(self):
+        # Sec. IV-G: future pitch reduction shrinks the interposer count
+        # and with it the dominant cost term.
+        import repro.cost.packaging as pkg
+        baseline = baldur_cost(2**16).total
+        original = pkg.fibers_per_interposer_edge
+        try:
+            pkg.fibers_per_interposer_edge = lambda *a, **k: 502
+            cheaper = baldur_cost(2**16).total
+        finally:
+            pkg.fibers_per_interposer_edge = original
+        assert cheaper < baseline

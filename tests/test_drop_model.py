@@ -1,0 +1,106 @@
+"""Tests for the worst-case one-shot drop model (Sec. IV-E)."""
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.core import (
+    drop_rate_table,
+    multiplicity_for_scale,
+    one_shot_drop_rate,
+    required_multiplicity,
+)
+from repro.errors import ConfigurationError, TopologyError
+
+
+class TestOneShotDropRate:
+    def test_monotone_in_multiplicity(self):
+        rates = [
+            one_shot_drop_rate(256, m, "random_permutation", trials=2)
+            for m in (1, 2, 3, 4)
+        ]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[0] > 0.5  # m=1 drops most packets
+
+    def test_m4_low_at_1k(self):
+        # Paper: m=4 targets <1% at 1,024 nodes; our tool lands at ~1.3%
+        # (documented boundary difference in EXPERIMENTS.md).
+        rate = one_shot_drop_rate(1024, 4, "random_permutation", trials=3)
+        assert rate < 0.02
+
+    def test_m5_below_1pct_at_64k(self):
+        # Large-scale check (64K as a fast stand-in for the 1M result;
+        # the full 1M case runs in the Sec. IV-E bench).
+        rate = one_shot_drop_rate(2**16, 5, "random_permutation", trials=1)
+        assert rate < C.TARGET_DROP_RATE
+
+    def test_patterns_all_work(self):
+        for pattern in ("random_permutation", "transpose", "bisection"):
+            rate = one_shot_drop_rate(64, 3, pattern, trials=1)
+            assert 0.0 <= rate <= 1.0
+
+    def test_explicit_destinations(self):
+        n = 64
+        dst = np.roll(np.arange(n), 1)
+        rate = one_shot_drop_rate(n, 2, destinations=dst, trials=2)
+        assert 0.0 <= rate <= 1.0
+
+    def test_destination_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            one_shot_drop_rate(64, 2, destinations=np.arange(10))
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError):
+            one_shot_drop_rate(64, 2, pattern="nope")
+
+    def test_invalid_nodes(self):
+        with pytest.raises(TopologyError):
+            one_shot_drop_rate(100, 2)
+
+    def test_invalid_multiplicity(self):
+        with pytest.raises(ConfigurationError):
+            one_shot_drop_rate(64, 0)
+
+    def test_deterministic(self):
+        a = one_shot_drop_rate(256, 2, seed=5, trials=2)
+        b = one_shot_drop_rate(256, 2, seed=5, trials=2)
+        assert a == b
+
+    def test_zero_drops_with_huge_multiplicity(self):
+        assert one_shot_drop_rate(64, 8, trials=1) == 0.0
+
+    def test_hotspot_like_traffic_drops_heavily(self):
+        # All nodes to one destination: the final stages can carry at most
+        # m packets, so drops approach 100% regardless of randomization.
+        n = 64
+        dst = np.full(n, 7)
+        dst[7] = 8
+        rate = one_shot_drop_rate(n, 3, destinations=dst, trials=1)
+        assert rate > 0.8
+
+
+class TestMultiplicitySelection:
+    def test_required_multiplicity_monotone_target(self):
+        strict = required_multiplicity(256, target_drop_rate=0.001, trials=2)
+        loose = required_multiplicity(256, target_drop_rate=0.2, trials=2)
+        assert strict >= loose
+
+    def test_required_multiplicity_reasonable_at_1k(self):
+        m = required_multiplicity(
+            1024, patterns=["random_permutation"], trials=2
+        )
+        assert m in (4, 5)  # paper: 4; our tool sits at the boundary
+
+    def test_target_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_multiplicity(64, target_drop_rate=0.0)
+
+    def test_published_scale_rule(self):
+        assert multiplicity_for_scale(32) == 3
+        assert multiplicity_for_scale(1024) == 4
+        assert multiplicity_for_scale(2**20) == 5
+
+    def test_drop_rate_table_shape(self):
+        table = drop_rate_table(256, multiplicities=(1, 2, 3), trials=1)
+        assert set(table) == {1, 2, 3}
+        assert table[1] > table[3]

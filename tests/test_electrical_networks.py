@@ -1,0 +1,186 @@
+"""Tests for the electrical baseline network simulators."""
+
+import random
+
+import pytest
+
+from repro.electrical import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    IdealNetwork,
+    MultiButterflyNetwork,
+)
+from repro.errors import ConfigurationError
+
+
+def run_permutation(net, n, packets_per_node=5, gap_ns=500.0, seed=0):
+    rng = random.Random(seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    for src in range(n):
+        dst = perm[src] if perm[src] != src else (src + 1) % n
+        for j in range(packets_per_node):
+            net.submit(src, dst, time=j * gap_ns)
+    return net.run(until=50_000_000)
+
+
+class TestIdealNetwork:
+    def test_flat_latency(self):
+        net = IdealNetwork(16)
+        stats = run_permutation(net, 16)
+        assert stats.average_latency == pytest.approx(200.0)
+        assert stats.tail_latency == pytest.approx(200.0)
+
+    def test_custom_latency(self):
+        net = IdealNetwork(8, latency_ns=50.0)
+        net.submit(0, 1, time=0.0)
+        stats = net.run()
+        assert stats.average_latency == pytest.approx(50.0)
+
+    def test_endpoint_validation(self):
+        net = IdealNetwork(8)
+        with pytest.raises(ConfigurationError):
+            net.submit(0, 0)
+        with pytest.raises(ConfigurationError):
+            net.submit(0, 8)
+
+    def test_submit_in_past_rejected(self):
+        net = IdealNetwork(8)
+        net.submit(0, 1, time=100.0)
+        net.run()
+        with pytest.raises(ConfigurationError):
+            net.submit(0, 1, time=50.0)
+
+    def test_receive_hook_closed_loop(self):
+        # Ping-pong on the ideal network: each RTT is exactly 400 ns.
+        net = IdealNetwork(4)
+        times = []
+
+        def hook(packet, time):
+            times.append(time)
+            if len(times) < 4:
+                net.submit(packet.dst, packet.src, time=time)
+
+        net.receive_hook = hook
+        net.submit(0, 1, time=0.0)
+        net.run()
+        assert times == [200.0, 400.0, 600.0, 800.0]
+
+
+class TestMultiButterflyNetwork:
+    def test_all_delivered(self):
+        net = MultiButterflyNetwork(32, multiplicity=2, seed=1)
+        stats = run_permutation(net, 32)
+        assert stats.delivered == stats.injected
+
+    def test_unloaded_latency_budget(self):
+        # 5 stages x 90 ns + injection/ejection links + one serialization.
+        net = MultiButterflyNetwork(32, multiplicity=2, seed=1)
+        net.submit(0, 17, time=0.0)
+        stats = net.run()
+        expected_min = 5 * 90 + 2 * 100 + 204.8
+        assert stats.average_latency >= expected_min
+        assert stats.average_latency < expected_min + 200
+
+    def test_no_drops_in_electrical_network(self):
+        net = MultiButterflyNetwork(32, multiplicity=2, seed=1)
+        stats = run_permutation(net, 32, packets_per_node=10, gap_ns=250.0)
+        assert stats.drops == 0
+        assert stats.delivered == stats.injected
+
+    def test_latency_grows_with_load(self):
+        light = run_permutation(
+            MultiButterflyNetwork(32, 2, seed=1), 32, 10, gap_ns=2000.0
+        )
+        heavy = run_permutation(
+            MultiButterflyNetwork(32, 2, seed=1), 32, 10, gap_ns=210.0
+        )
+        assert heavy.average_latency > light.average_latency
+
+    def test_multiplicity_one_works(self):
+        net = MultiButterflyNetwork(16, multiplicity=1, seed=0)
+        stats = run_permutation(net, 16)
+        assert stats.delivered == stats.injected
+
+
+class TestFatTreeNetwork:
+    def test_all_delivered(self):
+        net = FatTreeNetwork(54, seed=1)  # k=6 tree, 54 hosts
+        stats = run_permutation(net, 54)
+        assert stats.delivered == stats.injected
+
+    def test_same_edge_is_fast(self):
+        net = FatTreeNetwork(16, seed=0)
+        net.submit(0, 1, time=0.0)  # same edge switch
+        stats = net.run()
+        # 1 switch hop: 90 ns + 2 x 10 ns links + serialization.
+        assert stats.average_latency == pytest.approx(90 + 20 + 204.8, rel=0.1)
+
+    def test_cross_pod_is_slower(self):
+        same_edge = FatTreeNetwork(16, seed=0)
+        same_edge.submit(0, 1, time=0.0)
+        cross = FatTreeNetwork(16, seed=0)
+        cross.submit(0, 15, time=0.0)
+        a = same_edge.run().average_latency
+        b = cross.run().average_latency
+        assert b > a + 400  # 4 more switch hops
+
+    def test_adaptive_spreads_up_ports(self):
+        # Saturating one destination must not deadlock the whole tree.
+        net = FatTreeNetwork(16, seed=0)
+        for src in range(1, 9):
+            for j in range(5):
+                net.submit(src, 0, time=j * 300.0)
+        stats = net.run(until=10_000_000)
+        assert stats.delivered == stats.injected
+
+
+class TestDragonflyNetwork:
+    def test_all_delivered(self):
+        net = DragonflyNetwork(36, seed=1)  # p=2: a=4,h=2,g=9 -> 72 nodes
+        stats = run_permutation(net, 36)
+        assert stats.delivered == stats.injected
+
+    def test_same_router_terminal_hop(self):
+        net = DragonflyNetwork(36, seed=0)
+        net.submit(0, 1, time=0.0)  # same router (p >= 2)
+        stats = net.run()
+        # 1 router, terminal links both sides.
+        assert stats.average_latency == pytest.approx(90 + 20 + 204.8, rel=0.1)
+
+    def test_cross_group_uses_global_link(self):
+        net = DragonflyNetwork(36, seed=0, adaptive=False)
+        far = net.topology.p * net.topology.a * 3  # node in group 3
+        net.submit(0, far, time=0.0)
+        stats = net.run()
+        # At least one 100 ns global link on the path.
+        assert stats.average_latency > 90 + 100 + 204.8
+
+    def test_minimal_routing_when_adaptive_disabled(self):
+        net = DragonflyNetwork(36, seed=0, adaptive=False)
+        stats = run_permutation(net, 36)
+        assert stats.delivered == stats.injected
+
+    def test_adaptive_beats_minimal_under_adversarial_traffic(self):
+        # Every node in group 0 sends to group 1: minimal routing funnels
+        # into one global channel; UGAL spreads over intermediate groups.
+        def adversarial(net, n_per_group):
+            for src in range(n_per_group):
+                dst = n_per_group + src
+                for j in range(6):
+                    net.submit(src, dst, time=j * 300.0)
+            return net.run(until=100_000_000)
+
+        n = DragonflyNetwork(72, seed=1, adaptive=False)
+        per_group = n.topology.p * n.topology.a
+        minimal = adversarial(n, per_group)
+        adaptive = adversarial(DragonflyNetwork(72, seed=1, adaptive=True),
+                               per_group)
+        assert adaptive.average_latency < minimal.average_latency
+
+    def test_vc_escalation_on_plan(self):
+        # Valiant paths must escalate VCs monotonically (deadlock freedom).
+        net = DragonflyNetwork(72, seed=1)
+        ports, vcs = net._path_ports(0, net.topology.p * net.topology.a * 5, 2)
+        assert vcs == sorted(vcs)
+        assert vcs[-1] <= 2

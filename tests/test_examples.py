@@ -1,0 +1,62 @@
+"""Smoke tests: every example script must run and produce its output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_has_enough_examples():
+    scripts = list(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "avg latency" in out
+    assert "baldur" in out
+
+
+def test_switch_circuit_demo():
+    out = run_example("switch_circuit_demo.py")
+    assert "TL gates" in out
+    assert "masked off" in out
+    assert "dropped" in out  # the contending packet loses
+
+
+def test_hpc_workloads_small():
+    out = run_example("hpc_workloads.py", "64")
+    assert "geomean" in out
+    assert "AMG" in out and "FB" in out
+
+
+def test_scale_power_study():
+    out = run_example("scale_power_study.py")
+    assert "1,048,576" in out
+    assert "cabinets" in out
+
+
+def test_worst_case_traffic():
+    out = run_example("worst_case_traffic.py", timeout=500)
+    assert "required m" in out
+    assert "transpose" in out
+
+
+def test_technology_scaling():
+    out = run_example("technology_scaling.py")
+    assert "node scale" in out
+    assert "0.25" in out

@@ -1,0 +1,179 @@
+"""Cross-module property-based tests on system invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BaldurNetwork, one_shot_drop_rate
+from repro.electrical import DragonflyNetwork, MultiButterflyNetwork
+from repro.sim import Environment
+from repro.topology import MultiButterflyTopology
+
+
+class TestKernelInvariants:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_callbacks_fire_in_time_order(self, delays):
+        env = Environment()
+        fired = []
+        for delay in delays:
+            env.schedule(delay, lambda d=delay: fired.append(env.now))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_clock_never_goes_backwards(self, delays):
+        env = Environment()
+        observed = []
+
+        def note():
+            observed.append(env.now)
+            # Schedule a follow-up to interleave.
+            if len(observed) < 50:
+                env.schedule(1.0, lambda: observed.append(env.now))
+
+        for delay in delays:
+            env.schedule(delay, note)
+        env.run()
+        assert observed == sorted(observed)
+
+
+class TestConservationInvariants:
+    @given(st.integers(0, 1000), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_baldur_packet_conservation_no_retx(self, seed, m):
+        # Without retransmission: every injected packet is either
+        # delivered or dropped, never both, never lost silently.
+        n = 32
+        net = BaldurNetwork(
+            n, multiplicity=m, seed=seed, enable_retransmission=False
+        )
+        rng = random.Random(seed)
+        for _ in range(60):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            if src != dst:
+                net.submit(src, dst, time=rng.uniform(0, 5_000))
+        stats = net.run()
+        assert stats.delivered + stats.drops == stats.injected
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_baldur_full_delivery_with_retx(self, seed):
+        n = 32
+        net = BaldurNetwork(n, multiplicity=3, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(40):
+            src, dst = rng.randrange(n), rng.randrange(n)
+            if src != dst:
+                net.submit(src, dst, time=rng.uniform(0, 10_000))
+        stats = net.run(until=50_000_000)
+        assert stats.delivered == stats.injected
+        assert net.lost_packets == 0
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_electrical_networks_lossless(self, seed):
+        n = 32
+        net = MultiButterflyNetwork(n, multiplicity=2, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(40):
+            src, dst = rng.randrange(n), rng.randrange(n)
+            if src != dst:
+                net.submit(src, dst, time=rng.uniform(0, 20_000))
+        stats = net.run(until=100_000_000)
+        assert stats.drops == 0
+        assert stats.delivered == stats.injected
+
+    def test_retx_buffer_returns_to_zero(self):
+        net = BaldurNetwork(32, multiplicity=3, seed=5)
+        rng = random.Random(5)
+        for _ in range(50):
+            src, dst = rng.randrange(32), rng.randrange(32)
+            if src != dst:
+                net.submit(src, dst, time=rng.uniform(0, 5_000))
+        net.run(until=50_000_000)
+        assert all(b == 0 for b in net._retx_buffer_bytes)
+
+
+class TestDragonflyPlanInvariants:
+    @given(st.integers(0, 71), st.integers(0, 71), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_plans_are_executable_and_terminate_at_dst(self, src, dst, seed):
+        # Walk a UGAL plan hop by hop through the actual port wiring and
+        # confirm it ends at the destination's terminal port.
+        if src == dst:
+            return
+        net = DragonflyNetwork(72, seed=seed)
+        topo = net.topology
+        group, local = topo.router_of_node(src)
+        router = net.routers[topo.router_id(group, local)]
+        from repro.netsim.packet import Packet
+        packet = Packet(0, src, dst)
+        net._plan(router, packet)
+        current = router
+        for hop, port_idx in enumerate(packet.plan_ports):
+            port = current.ports[port_idx]
+            if port.target_switch is None:
+                # Terminal hop must be the last one and belong to dst.
+                assert hop == len(packet.plan_ports) - 1
+                assert current.sid * topo.p + port_idx == dst
+                return
+            current = port.target_switch
+        pytest.fail("plan never reached a terminal port")
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_plan_vcs_monotone(self, seed):
+        net = DragonflyNetwork(72, seed=seed)
+        rng = random.Random(seed)
+        src = rng.randrange(72)
+        dst = rng.randrange(72)
+        if src == dst:
+            return
+        topo = net.topology
+        group, local = topo.router_of_node(src)
+        router = net.routers[topo.router_id(group, local)]
+        from repro.netsim.packet import Packet
+        packet = Packet(0, src, dst)
+        net._plan(router, packet)
+        assert packet.plan_vcs == sorted(packet.plan_vcs)
+        assert packet.plan_vcs[-1] <= 2  # Table VI: 3 VCs suffice
+
+
+class TestDropModelInvariants:
+    @given(st.integers(3, 7), st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_drop_rate_bounded(self, log_n, m):
+        rate = one_shot_drop_rate(1 << log_n, m, trials=1)
+        assert 0.0 <= rate <= 1.0
+
+    @given(st.integers(4, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_more_multiplicity_never_hurts(self, log_n):
+        n = 1 << log_n
+        low = one_shot_drop_rate(n, 1, trials=2)
+        high = one_shot_drop_rate(n, 4, trials=2)
+        assert high <= low
+
+
+class TestWiringInvariants:
+    @given(st.integers(0, 10_000), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_all_wired_targets_valid(self, seed, m):
+        topo = MultiButterflyTopology(64, m, seed=seed)
+        for stage in range(topo.n_stages):
+            limit = (
+                topo.n_nodes
+                if topo.is_last_stage(stage)
+                else topo.switches_per_stage
+            )
+            for switch in range(topo.switches_per_stage):
+                for bit in (0, 1):
+                    targets = topo.next_switches(stage, switch, bit)
+                    assert len(targets) == m
+                    assert all(0 <= t < limit for t in targets)

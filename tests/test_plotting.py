@@ -1,0 +1,57 @@
+"""Tests for the ASCII plotting helper."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot({"a": {0.1: 100.0, 0.9: 500.0}})
+        assert "o" in chart  # series marker
+        assert "o=a" in chart  # legend
+
+    def test_title_and_labels(self):
+        chart = ascii_plot(
+            {"a": {1: 2.0}}, title="T", xlabel="load", ylabel="ns"
+        )
+        assert chart.startswith("T")
+        assert "load" in chart and "ns" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_plot(
+            {"a": {0: 1.0}, "b": {1: 2.0}},
+        )
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_log_scale(self):
+        chart = ascii_plot(
+            {"a": {0: 10.0, 1: 100_000.0}}, logy=True
+        )
+        assert "100,000" in chart or "1e+05" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": {0: 0.0}}, logy=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_nan_points_dropped(self):
+        chart = ascii_plot({"a": {0: 1.0, 1: float("nan")}})
+        assert "o" in chart
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": {0: float("nan")}})
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_plot({"a": {0: 5.0, 1: 5.0}})
+        assert "o" in chart
+
+    def test_dimensions(self):
+        chart = ascii_plot({"a": {0: 1.0, 1: 2.0}}, width=30, height=6)
+        grid_lines = [l for l in chart.splitlines() if l.startswith("|")]
+        assert len(grid_lines) == 6
+        assert all(len(l) <= 31 for l in grid_lines)

@@ -1,0 +1,332 @@
+"""Tests for the discrete-event kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        env = Environment()
+        assert env.now == 0.0
+
+    def test_initial_time_custom(self):
+        env = Environment(initial_time=42.0)
+        assert env.now == 42.0
+
+    def test_schedule_runs_callback_at_delay(self):
+        env = Environment()
+        fired = []
+        env.schedule(5.0, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [5.0]
+
+    def test_schedule_with_args(self):
+        env = Environment()
+        got = []
+        env.schedule(1.0, lambda a, b: got.append((a, b)), 1, 2)
+        env.run()
+        assert got == [(1, 2)]
+
+    def test_schedule_at_absolute_time(self):
+        env = Environment()
+        fired = []
+        env.schedule_at(7.5, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [7.5]
+
+    def test_schedule_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(SimulationError):
+            env.schedule_at(5.0, lambda: None)
+
+    def test_fifo_order_for_simultaneous_events(self):
+        env = Environment()
+        order = []
+        env.schedule(1.0, lambda: order.append("first"))
+        env.schedule(1.0, lambda: order.append("second"))
+        env.run()
+        assert order == ["first", "second"]
+
+    def test_time_ordering(self):
+        env = Environment()
+        order = []
+        env.schedule(3.0, lambda: order.append(3))
+        env.schedule(1.0, lambda: order.append(1))
+        env.schedule(2.0, lambda: order.append(2))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_run_until_advances_clock_past_empty_queue(self):
+        env = Environment()
+        env.run(until=100.0)
+        assert env.now == 100.0
+
+    def test_run_until_does_not_run_later_events(self):
+        env = Environment()
+        fired = []
+        env.schedule(5.0, lambda: fired.append("early"))
+        env.schedule(50.0, lambda: fired.append("late"))
+        env.run(until=10.0)
+        assert fired == ["early"]
+        assert env.now == 10.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_peek_and_empty(self):
+        env = Environment()
+        assert env.empty()
+        assert env.peek() == float("inf")
+        env.schedule(2.0, lambda: None)
+        assert env.peek() == 2.0
+        assert not env.empty()
+
+    def test_nested_scheduling(self):
+        env = Environment()
+        fired = []
+
+        def outer():
+            fired.append(("outer", env.now))
+            env.schedule(3.0, lambda: fired.append(("inner", env.now)))
+
+        env.schedule(1.0, outer)
+        env.run()
+        assert fired == [("outer", 1.0), ("inner", 4.0)]
+
+
+class TestEvents:
+    def test_event_succeed_delivers_value(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        env.run()
+        assert seen == ["payload"]
+
+    def test_event_double_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_event_fail_requires_exception(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_event_flags_lifecycle(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered and not event.processed
+        event.succeed(1)
+        assert event.triggered and not event.processed
+        env.run()
+        assert event.processed and event.ok and event.value == 1
+
+
+class TestProcesses:
+    def test_simple_timeout_process(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            log.append(env.now)
+            yield env.timeout(10)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [0.0, 10.0]
+
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "done"
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_process_waits_on_event(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((env.now, value))
+
+        env.process(waiter())
+        env.schedule(5.0, lambda: gate.succeed("go"))
+        env.run()
+        assert log == [(5.0, "go")]
+
+    def test_process_waits_on_another_process(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(3)
+            return "child-result"
+
+        def parent():
+            result = yield env.process(child())
+            log.append((env.now, result))
+
+        env.process(parent())
+        env.run()
+        assert log == [(3.0, "child-result")]
+
+    def test_yield_already_processed_event_resumes_immediately(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("early")
+        log = []
+
+        def late_waiter():
+            yield env.timeout(5)
+            value = yield done
+            log.append((env.now, value))
+
+        env.process(late_waiter())
+        env.run()
+        assert log == [(5.0, "early")]
+
+    def test_interrupt_handled(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                log.append((env.now, exc.cause))
+
+        p = env.process(sleeper())
+        env.schedule(4.0, lambda: p.interrupt("wake up"))
+        env.run()
+        assert log == [(4.0, "wake up")]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_unhandled_interrupt_fails_process(self):
+        env = Environment()
+
+        def sleeper():
+            yield env.timeout(100)
+
+        p = env.process(sleeper())
+        env.schedule(1.0, lambda: p.interrupt("boom"))
+        env.run()
+        assert p.processed and not p.ok
+        assert isinstance(p.value, Interrupt)
+
+    def test_is_alive(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            t1 = env.timeout(5, value="fast")
+            t2 = env.timeout(50, value="slow")
+            result = yield env.any_of([t1, t2])
+            log.append((env.now, list(result.values())))
+
+        env.process(proc())
+        env.run(until=100)
+        assert log[0][0] == 5.0
+        assert "fast" in log[0][1]
+
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            t1 = env.timeout(5)
+            t2 = env.timeout(50)
+            yield env.all_of([t1, t2])
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [50.0]
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.all_of([])
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [0.0]
+
+    def test_condition_classes_exported(self):
+        env = Environment()
+        assert isinstance(env.any_of([]), AnyOf)
+        assert isinstance(env.all_of([]), AllOf)
+
+
+class TestTimeout:
+    def test_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-0.5)
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        t = env.timeout(1, value="v")
+        env.run()
+        assert t.value == "v"

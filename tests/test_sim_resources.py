@@ -1,0 +1,161 @@
+"""Tests for Resource/Store (repro.sim.resources) and RNG streams."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store, derive_seed, numpy_stream, stream
+
+
+class TestResource:
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_waiter_blocks_until_release(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        r2 = res.request()
+        assert not r2.triggered
+        assert res.queue_length == 1
+        res.release()
+        assert r2.triggered
+        assert res.queue_length == 0
+
+    def test_release_without_request_raises(self):
+        env = Environment()
+        res = Resource(env)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_fifo_wakeup_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        waiters = [res.request() for _ in range(3)]
+        res.release()
+        assert waiters[0].triggered
+        assert not waiters[1].triggered
+
+    def test_process_style_usage(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(name, hold):
+            req = res.request()
+            yield req
+            log.append((name, "acquired", env.now))
+            yield env.timeout(hold)
+            res.release()
+
+        env.process(user("a", 10))
+        env.process(user("b", 5))
+        env.run()
+        assert log == [("a", "acquired", 0.0), ("b", "acquired", 10.0)]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        g = store.get()
+        assert g.triggered and g.value == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        g = store.get()
+        assert not g.triggered
+        store.put("late")
+        assert g.triggered and g.value == "late"
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        p1 = store.put("a")
+        p2 = store.put("b")
+        assert p1.triggered and not p2.triggered
+        g = store.get()
+        assert g.value == "a"
+        assert p2.triggered
+        assert store.items == ("b",)
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_try_get(self):
+        env = Environment()
+        store = Store(env)
+        assert store.try_get() is None
+        store.put(7)
+        assert store.try_get() == 7
+        assert len(store) == 0
+
+    def test_try_get_unblocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.put("a")
+        p2 = store.put("b")
+        assert not p2.triggered
+        assert store.try_get() == "a"
+        assert p2.triggered
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestRandomStreams:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "traffic") == derive_seed(1, "traffic")
+
+    def test_derive_seed_distinguishes_names(self):
+        assert derive_seed(1, "traffic") != derive_seed(1, "wiring")
+
+    def test_derive_seed_distinguishes_masters(self):
+        assert derive_seed(1, "traffic") != derive_seed(2, "traffic")
+
+    def test_stream_returns_random_instance(self):
+        rng = stream(0, "x")
+        assert isinstance(rng, random.Random)
+
+    def test_stream_reproducible(self):
+        a = [stream(5, "s").random() for _ in range(3)]
+        b = [stream(5, "s").random() for _ in range(3)]
+        assert a == b
+
+    def test_numpy_stream_reproducible(self):
+        a = numpy_stream(5, "s").standard_normal(4)
+        b = numpy_stream(5, "s").standard_normal(4)
+        assert (a == b).all()
+
+    def test_adjacent_seeds_decorrelated(self):
+        # SHA-based derivation should make adjacent master seeds unrelated.
+        a = stream(100, "t").random()
+        b = stream(101, "t").random()
+        assert abs(a - b) > 1e-12

@@ -1,0 +1,231 @@
+"""Tests for the gate-level asynchronous circuit simulator."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.tl.circuit import Circuit
+from repro.tl.encoding import OpticalWaveform
+from repro.tl.gates import GateType
+
+
+def pulse(start, end):
+    return OpticalWaveform.from_intervals([(start, end)])
+
+
+class TestBasicGates:
+    def test_inverter(self):
+        circ = Circuit()
+        a = circ.signal("a")
+        out = circ.add_inv(a, "out")
+        out.record()
+        circ.drive(a, pulse(10, 20))
+        circ.run()
+        # Output starts high (input dark), goes low after rise + delay.
+        rises = [t for t, lvl in out.history() if lvl == 0]
+        assert rises and rises[0] == pytest.approx(10 + circ.chars.delay_ps)
+
+    def test_and_gate(self):
+        circ = Circuit()
+        a, b = circ.signal("a"), circ.signal("b")
+        out = circ.add_and(a, b, "out")
+        out.record()
+        circ.drive(a, pulse(0, 100))
+        circ.drive(b, pulse(50, 150))
+        circ.run()
+        highs = out.rise_times()
+        lows = out.fall_times()
+        assert highs[0] == pytest.approx(50 + circ.chars.delay_ps)
+        assert lows[0] == pytest.approx(100 + circ.chars.delay_ps)
+
+    def test_or_gate(self):
+        circ = Circuit()
+        a, b = circ.signal("a"), circ.signal("b")
+        out = circ.add_or(a, b, "out")
+        out.record()
+        circ.drive(a, pulse(0, 10))
+        circ.drive(b, pulse(5, 20))
+        circ.run()
+        assert out.rise_times()[0] == pytest.approx(circ.chars.delay_ps)
+        assert out.fall_times()[0] == pytest.approx(20 + circ.chars.delay_ps)
+
+    def test_nand_nor(self):
+        circ = Circuit()
+        a, b = circ.signal("a", 1), circ.signal("b", 1)
+        nand = circ.add_nand(a, b, "nand")
+        nor = circ.add_nor(a, b, "nor")
+        assert nand.level == 0
+        assert nor.level == 0
+
+    def test_buf(self):
+        circ = Circuit()
+        a = circ.signal("a")
+        out = circ.add_buf(a, "out")
+        out.record()
+        circ.drive(a, pulse(5, 6))
+        circ.run()
+        assert out.rise_times()[0] == pytest.approx(5 + circ.chars.delay_ps)
+
+    def test_fanin_rule_enforced(self):
+        # Active TL gates are limited to 2 inputs (Sec. III).
+        circ = Circuit()
+        sigs = [circ.signal(f"s{i}") for i in range(3)]
+        with pytest.raises(CircuitError):
+            circ._check_fanin(sigs, "AND")
+
+
+class TestPassives:
+    def test_waveguide_delay(self):
+        circ = Circuit()
+        a = circ.signal("a")
+        out = circ.add_waveguide_delay(a, 132.0, "wd")
+        out.record()
+        circ.drive(a, pulse(0, 10))
+        circ.run()
+        assert out.rise_times()[0] == pytest.approx(132.0)
+        assert out.fall_times()[0] == pytest.approx(142.0)
+
+    def test_waveguide_delay_validation(self):
+        circ = Circuit()
+        with pytest.raises(CircuitError):
+            circ.add_waveguide_delay(circ.signal("a"), -1.0, "wd")
+
+    def test_combiner_is_or(self):
+        circ = Circuit()
+        sigs = [circ.signal(f"s{i}") for i in range(4)]
+        out = circ.add_combiner(sigs, "comb")
+        out.record()
+        for i, sig in enumerate(sigs):
+            circ.drive(sig, pulse(10 * i, 10 * i + 5))
+        circ.run()
+        # Light present whenever any input is lit.
+        assert len(out.rise_times()) == 4
+
+    def test_combiner_allows_wide_fanin(self):
+        # Combiners are passive: the 2-input rule does not apply.
+        circ = Circuit()
+        sigs = [circ.signal(f"s{i}") for i in range(16)]
+        circ.add_combiner(sigs, "wide")  # must not raise
+
+    def test_combiner_needs_inputs(self):
+        circ = Circuit()
+        with pytest.raises(CircuitError):
+            circ.add_combiner([], "empty")
+
+    def test_splitter(self):
+        circ = Circuit()
+        a = circ.signal("a")
+        copies = circ.add_splitter(a, 3)
+        assert len(copies) == 3
+        assert all(c is a for c in copies)
+        with pytest.raises(CircuitError):
+            circ.add_splitter(a, 1)
+
+
+class TestLatchAndMutex:
+    def test_sr_latch_set_reset(self):
+        circ = Circuit()
+        s, r = circ.signal("s"), circ.signal("r")
+        q, qbar = circ.add_sr_latch(s, r, "latch")
+        q.record()
+        circ.drive(s, pulse(10, 20))
+        circ.drive(r, pulse(100, 110))
+        circ.run()
+        assert q.rise_times() and q.rise_times()[0] < 20
+        assert q.fall_times() and q.fall_times()[0] > 100
+        assert q.level == 0 and qbar.level == 1
+
+    def test_sr_latch_initial_state(self):
+        circ = Circuit()
+        q, qbar = circ.add_sr_latch(circ.signal("s"), circ.signal("r"), "l")
+        assert q.level == 0 and qbar.level == 1
+
+    def test_latch_counts_two_gates(self):
+        circ = Circuit()
+        circ.add_sr_latch(circ.signal("s"), circ.signal("r"), "l")
+        assert circ.budget.tl_gate_count == 2
+
+    def test_mutex_grants_one(self):
+        circ = Circuit()
+        r0, r1 = circ.signal("r0"), circ.signal("r1")
+        g0, g1 = circ.add_mutex(r0, r1, "arb")
+        circ.drive(r0, pulse(10, 100))
+        circ.drive(r1, pulse(20, 200))
+        circ.run(until=150)
+        # r0 wins; r1 must wait for r0's release.
+        assert g0.level == 0  # released at t=100
+        assert g1.level == 1  # acquired after r0 dropped
+
+    def test_mutex_never_double_grants(self):
+        circ = Circuit()
+        r0, r1 = circ.signal("r0"), circ.signal("r1")
+        g0, g1 = circ.add_mutex(r0, r1, "arb")
+        g0.record()
+        g1.record()
+        circ.drive(r0, pulse(10, 100))
+        circ.drive(r1, pulse(10, 100))
+        circ.run()
+        # Reconstruct overlap: collect intervals where both high.
+        events = sorted(
+            [(t, "g0", lvl) for t, lvl in g0.history()]
+            + [(t, "g1", lvl) for t, lvl in g1.history()]
+        )
+        levels = {"g0": 0, "g1": 0}
+        for _, name, lvl in events:
+            levels[name] = lvl
+            assert not (levels["g0"] and levels["g1"])
+
+    def test_mutex_second_granted_after_release(self):
+        circ = Circuit()
+        r0, r1 = circ.signal("r0"), circ.signal("r1")
+        g0, g1 = circ.add_mutex(r0, r1, "arb")
+        g1.record()
+        circ.drive(r0, pulse(0, 50))
+        circ.drive(r1, pulse(10, 300))
+        circ.run()
+        assert g1.rise_times() and g1.rise_times()[0] >= 50
+
+
+class TestBudgetAccounting:
+    def test_active_gates_counted(self):
+        circ = Circuit()
+        a, b = circ.signal("a"), circ.signal("b")
+        circ.add_and(a, b, "x")
+        circ.add_inv(a, "y")
+        assert circ.budget.tl_gate_count == 2
+
+    def test_passives_not_counted_as_gates(self):
+        circ = Circuit()
+        a = circ.signal("a")
+        circ.add_waveguide_delay(a, 1.0, "wd")
+        circ.add_combiner([a], "c")
+        circ.add_splitter(a, 2)
+        assert circ.budget.tl_gate_count == 0
+        assert circ.budget.passive_count == 3
+
+    def test_power_scales_with_gate_count(self):
+        circ = Circuit()
+        a, b = circ.signal("a"), circ.signal("b")
+        circ.add_and(a, b, "x")
+        assert circ.budget.power_w == pytest.approx(
+            circ.chars.power_w, rel=1e-9
+        )
+
+    def test_budget_merge_and_validation(self):
+        from repro.tl.gates import GateBudget
+        b1, b2 = GateBudget(), GateBudget()
+        b1.add(GateType.AND, 3)
+        b2.add(GateType.AND, 2)
+        b2.add(GateType.LATCH, 1)
+        b1.merge(b2)
+        assert b1.tl_gate_count == 3 + 2 + 2
+        with pytest.raises(ValueError):
+            b1.add(GateType.AND, -1)
+
+    def test_render_waveforms_shape(self):
+        circ = Circuit()
+        a = circ.signal("a")
+        a.record()
+        circ.drive(a, pulse(0, 50))
+        circ.run()
+        text = circ.render_waveforms([a], t_end=100, width=10)
+        assert "#" in text and "_" in text

@@ -1,0 +1,95 @@
+"""Tests for the TL device model (Table III -> Table IV reproduction)."""
+
+import pytest
+
+from repro import constants as C
+from repro.tl.device import (
+    TLDeviceParameters,
+    characterize_gate,
+    static_power_fraction,
+)
+
+
+class TestTableIVReproduction:
+    """The default device parameters must reproduce Table IV."""
+
+    def test_delay_matches_table4(self):
+        chars = characterize_gate()
+        assert chars.delay_ps == pytest.approx(C.TL_GATE_DELAY_PS, rel=0.01)
+
+    def test_rise_fall_matches_table4(self):
+        chars = characterize_gate()
+        assert chars.rise_fall_time_ps == pytest.approx(
+            C.TL_GATE_RISE_FALL_TIME_PS, rel=0.01
+        )
+
+    def test_power_matches_table4(self):
+        chars = characterize_gate()
+        assert chars.power_w == pytest.approx(C.TL_GATE_POWER_W, rel=0.01)
+
+    def test_data_rate_matches_table4(self):
+        chars = characterize_gate()
+        assert chars.data_rate_gbps == pytest.approx(
+            C.TL_GATE_DATA_RATE_GBPS, rel=0.02
+        )
+
+    def test_area_matches_table4(self):
+        assert characterize_gate().area_um2 == C.TL_GATE_AREA_UM2
+
+    def test_energy_per_bit_is_677_fj(self):
+        chars = characterize_gate()
+        assert chars.energy_per_bit_fj == pytest.approx(
+            C.TL_GATE_ENERGY_PER_BIT_FJ, rel=0.02
+        )
+
+    def test_power_mw_helper(self):
+        chars = characterize_gate()
+        assert chars.power_mw == pytest.approx(0.406, rel=0.01)
+
+    def test_eye_is_open_at_max_rate(self):
+        chars = characterize_gate()
+        assert 0.3 < chars.eye_opening_fraction < 1.0
+
+    def test_static_power_dominates(self):
+        # Sec. III footnote: static power is the dominant component.
+        assert static_power_fraction() > 0.9
+
+
+class TestParameterValidation:
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            TLDeviceParameters(junction_capacitance_f=-1e-15)
+
+    def test_zero_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            TLDeviceParameters(photon_lifetime_s=0.0)
+
+    def test_bias_below_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            TLDeviceParameters(bias_current_a=0.05e-3)
+
+    def test_frozen(self):
+        params = TLDeviceParameters()
+        with pytest.raises(AttributeError):
+            params.bias_current_a = 1.0
+
+
+class TestTechnologyScaling:
+    def test_scaled_node_is_faster(self):
+        base = characterize_gate()
+        scaled = characterize_gate(TLDeviceParameters().scaled(0.5))
+        assert scaled.delay_ps < base.delay_ps
+        assert scaled.data_rate_gbps > base.data_rate_gbps
+
+    def test_scaled_node_uses_less_power(self):
+        base = characterize_gate()
+        scaled = characterize_gate(TLDeviceParameters().scaled(0.5))
+        assert scaled.power_w < base.power_w
+
+    def test_scale_factor_validation(self):
+        with pytest.raises(ValueError):
+            TLDeviceParameters().scaled(0.0)
+
+    def test_identity_scaling(self):
+        base = TLDeviceParameters()
+        assert base.scaled(1.0) == base

@@ -1,0 +1,214 @@
+"""Tests for the length-based encoding and the 8b/10b codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants as C
+from repro.errors import EncodingError
+from repro.tl.encoding import (
+    OpticalWaveform,
+    decode_8b10b,
+    decode_packet,
+    decode_routing_bits,
+    encode_8b10b,
+    encode_packet,
+    encode_routing_bits,
+    length_encoding_overhead,
+)
+
+
+class TestOpticalWaveform:
+    def test_from_intervals(self):
+        wf = OpticalWaveform.from_intervals([(0, 1), (2, 3)])
+        assert wf.edges == (0, 1, 2, 3)
+
+    def test_level_at(self):
+        wf = OpticalWaveform.from_intervals([(1.0, 2.0)])
+        assert wf.level_at(0.5) == 0
+        assert wf.level_at(1.5) == 1
+        assert wf.level_at(2.5) == 0
+
+    def test_adjacent_intervals_merge(self):
+        wf = OpticalWaveform.from_intervals([(0, 1), (1, 2)])
+        assert wf.edges == (0, 2)
+
+    def test_unsorted_intervals_rejected(self):
+        with pytest.raises(EncodingError):
+            OpticalWaveform.from_intervals([(2, 3), (0, 1)])
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(EncodingError):
+            OpticalWaveform.from_intervals([(1, 1)])
+
+    def test_nonmonotonic_edges_rejected(self):
+        with pytest.raises(EncodingError):
+            OpticalWaveform((3.0, 1.0))
+
+    def test_shifted(self):
+        wf = OpticalWaveform.from_intervals([(0, 1)]).shifted(10)
+        assert wf.edges == (10, 11)
+
+    def test_start_end(self):
+        wf = OpticalWaveform.from_intervals([(2, 3), (5, 7)])
+        assert wf.start == 2 and wf.end == 7
+
+    def test_empty_waveform_start_end(self):
+        wf = OpticalWaveform(())
+        assert wf.start == float("inf") and wf.end == float("-inf")
+
+    def test_intervals_roundtrip(self):
+        intervals = [(0.0, 2.0), (3.0, 4.0)]
+        assert OpticalWaveform.from_intervals(intervals).intervals() == intervals
+
+
+class TestRoutingBitEncoding:
+    def test_zero_is_2t_of_light(self):
+        wf = encode_routing_bits([0], bit_period=1.0)
+        assert wf.intervals() == [(0.0, 2.0)]
+
+    def test_one_is_1t_of_light(self):
+        wf = encode_routing_bits([1], bit_period=1.0)
+        assert wf.intervals() == [(0.0, 1.0)]
+
+    def test_slot_is_3t(self):
+        wf = encode_routing_bits([1, 0], bit_period=1.0)
+        assert wf.intervals() == [(0.0, 1.0), (3.0, 5.0)]
+
+    def test_bit_period_scales(self):
+        wf = encode_routing_bits([0], bit_period=40.0)
+        assert wf.intervals() == [(0.0, 80.0)]
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_routing_bits([2])
+
+    def test_decode_inverse_of_encode(self):
+        bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        wf = encode_routing_bits(bits, bit_period=40.0)
+        assert decode_routing_bits(wf, len(bits), bit_period=40.0) == bits
+
+    def test_decode_tolerates_margin(self):
+        # A '1' pulse stretched by 0.4T still decodes as '1'.
+        wf = OpticalWaveform.from_intervals([(0.0, 1.4)])
+        assert decode_routing_bits(wf, 1, bit_period=1.0) == [1]
+
+    def test_decode_rejects_out_of_margin_pulse(self):
+        # A pulse of 1.5T is ambiguous: outside 0.42T of both 1T and 2T.
+        wf = OpticalWaveform.from_intervals([(0.0, 1.5)])
+        with pytest.raises(EncodingError):
+            decode_routing_bits(wf, 1, bit_period=1.0)
+
+    def test_decode_too_few_pulses(self):
+        wf = encode_routing_bits([1])
+        with pytest.raises(EncodingError):
+            decode_routing_bits(wf, 2)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=20))
+    def test_roundtrip_property(self, bits):
+        wf = encode_routing_bits(bits, bit_period=40.0)
+        assert decode_routing_bits(wf, len(bits), bit_period=40.0) == bits
+
+
+class Test8b10b:
+    def test_roundtrip_simple(self):
+        data = b"\x00\xff\xa5\x5a"
+        assert decode_8b10b(encode_8b10b(data)) == data
+
+    def test_ten_bits_per_byte(self):
+        assert len(encode_8b10b(b"abc")) == 30
+
+    def test_run_length_bounded_by_5(self):
+        # The property the 6T end-of-packet rule relies on (Sec. IV-C).
+        import itertools
+        for data in (bytes(range(256)), b"\x00" * 64, b"\xff" * 64):
+            bits = encode_8b10b(data)
+            longest = max(
+                len(list(group)) for _, group in itertools.groupby(bits)
+            )
+            assert longest <= 5, f"run of {longest} in {data[:8]!r}..."
+
+    def test_dc_balance(self):
+        bits = encode_8b10b(bytes(range(256)) * 4)
+        ones = sum(bits)
+        assert abs(ones - len(bits) / 2) <= len(bits) * 0.02
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_8b10b([0] * 10)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_8b10b([1] * 7)
+
+    def test_byte_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode_8b10b([300])
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        assert decode_8b10b(encode_8b10b(data)) == data
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_run_length_property(self, data):
+        import itertools
+        bits = encode_8b10b(data)
+        longest = max(len(list(g)) for _, g in itertools.groupby(bits))
+        assert longest <= 5
+
+
+class TestPacketCodec:
+    def test_roundtrip(self):
+        bits, payload = [0, 1, 1, 0], b"hello world"
+        wf = encode_packet(bits, payload, bit_period=40.0)
+        got_bits, got_payload = decode_packet(wf, 4, bit_period=40.0)
+        assert got_bits == bits
+        assert got_payload == payload
+
+    def test_payload_starts_after_routing_slots(self):
+        wf = encode_packet([1], b"\xff", bit_period=1.0)
+        # Routing slot ends at 3T; payload light must not start before.
+        assert all(s >= 3.0 or e <= 1.0 for s, e in wf.intervals())
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=10),
+        st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, bits, payload):
+        wf = encode_packet(bits, payload, bit_period=40.0)
+        got_bits, got_payload = decode_packet(wf, len(bits), bit_period=40.0)
+        assert got_bits == bits and got_payload == payload
+
+
+class TestEncodingOverhead:
+    def test_paper_configuration_is_sub_half_percent(self):
+        # Sec. IV-B quotes 0.34% for 8 routing bits + 512 B payload; our
+        # accounting brackets it.
+        with_gap = length_encoding_overhead(8, 512, include_end_gap=True)
+        without = length_encoding_overhead(8, 512, include_end_gap=False)
+        assert without < 0.0034 < with_gap
+        assert with_gap < 0.005
+
+    def test_overhead_shrinks_with_payload(self):
+        small = length_encoding_overhead(8, 64)
+        large = length_encoding_overhead(8, 4096)
+        assert large < small
+
+    def test_overhead_grows_with_routing_bits(self):
+        assert length_encoding_overhead(20, 512) > length_encoding_overhead(
+            8, 512
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(EncodingError):
+            length_encoding_overhead(0, 512)
+        with pytest.raises(EncodingError):
+            length_encoding_overhead(8, 0)
+
+    def test_constants_sanity(self):
+        assert C.ENCODING_SLOT_PERIODS == 3
+        assert C.ENCODING_ZERO_PERIODS == 2
+        assert C.ENCODING_ONE_PERIODS == 1

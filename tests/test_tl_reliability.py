@@ -1,0 +1,109 @@
+"""Tests for the Sec. IV-F reliability analysis."""
+
+import math
+
+import pytest
+
+from repro import constants as C
+from repro.tl.reliability import (
+    ERROR_SCENARIOS,
+    diagnose_faulty_switch,
+    error_probability,
+    make_observation,
+    margin_report,
+    monte_carlo_error_rate,
+    worst_case_margin_periods,
+)
+
+
+class TestMargin:
+    def test_margin_matches_paper_042T(self):
+        # With the paper's variation budget at the 25 Gbps bit period the
+        # worst-case margin is ~0.42T-0.43T.
+        margin = worst_case_margin_periods(bit_period_ps=40.0)
+        assert margin == pytest.approx(C.TIMING_MARGIN_PERIODS, abs=0.02)
+
+    def test_margin_shrinks_with_more_variation(self):
+        base = worst_case_margin_periods(40.0)
+        worse = worst_case_margin_periods(
+            40.0, gate_variation_fraction=0.5, waveguide_variation_ps=3.0
+        )
+        assert worse < base
+
+    def test_margin_grows_with_bit_period(self):
+        assert worst_case_margin_periods(80.0) > worst_case_margin_periods(
+            40.0
+        )
+
+
+class TestErrorProbability:
+    def test_paper_operating_point_is_1e_minus_9(self):
+        prob = error_probability(
+            margin_periods=C.TIMING_MARGIN_PERIODS, bit_period_ps=40.0
+        )
+        # Order of magnitude must match the paper's 1e-9.
+        assert 1e-10 < prob < 1e-8
+
+    def test_zero_margin_always_fails(self):
+        assert error_probability(margin_periods=0.0) == 1.0
+
+    def test_monotone_in_margin(self):
+        probs = [
+            error_probability(m, 40.0) for m in (0.1, 0.2, 0.3, 0.42)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_monotone_in_jitter(self):
+        low = error_probability(0.42, 40.0, jitter_variance_ps2=1.0)
+        high = error_probability(0.42, 40.0, jitter_variance_ps2=10.0)
+        assert high > low
+
+    def test_monte_carlo_agrees_with_analytic(self):
+        # Validate at inflated jitter where MC has statistics.
+        margin, t, var = 0.3, 40.0, 40.0
+        analytic = error_probability(margin, t, var)
+        mc = monte_carlo_error_rate(margin, t, var, trials=200_000, seed=7)
+        assert mc == pytest.approx(analytic, rel=0.15)
+
+    def test_monte_carlo_deterministic(self):
+        a = monte_carlo_error_rate(0.3, 40.0, 40.0, trials=10_000, seed=3)
+        b = monte_carlo_error_rate(0.3, 40.0, 40.0, trials=10_000, seed=3)
+        assert a == b
+
+    def test_margin_report_keys(self):
+        report = margin_report()
+        assert report["paper_error_probability"] == 1e-9
+        assert report["worst_case_margin_periods"] > 0.4
+        assert math.isfinite(report["error_probability"])
+
+    def test_four_error_scenarios_enumerated(self):
+        assert len(ERROR_SCENARIOS) == 4
+
+
+class TestFaultDiagnosis:
+    def test_single_fault_isolated(self):
+        # Deterministic paths (m=1): intersect lost, subtract delivered.
+        observations = [
+            make_observation([1, 5, 9], delivered=False),
+            make_observation([2, 5, 9], delivered=False),
+            make_observation([1, 6, 10], delivered=True),
+            make_observation([2, 5, 10], delivered=True),
+        ]
+        assert diagnose_faulty_switch(observations) == [9]
+
+    def test_no_losses_no_candidates(self):
+        observations = [make_observation([1, 2], delivered=True)]
+        assert diagnose_faulty_switch(observations) == []
+
+    def test_insufficient_evidence_keeps_multiple_candidates(self):
+        observations = [make_observation([1, 2, 3], delivered=False)]
+        assert diagnose_faulty_switch(observations) == [1, 2, 3]
+
+    def test_more_packets_narrow_candidates(self):
+        observations = [
+            make_observation([1, 2, 3], delivered=False),
+            make_observation([1, 4, 3], delivered=False),
+        ]
+        assert diagnose_faulty_switch(observations) == [1, 3]
+        observations.append(make_observation([1, 5, 6], delivered=True))
+        assert diagnose_faulty_switch(observations) == [3]

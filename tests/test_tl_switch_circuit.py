@@ -1,0 +1,189 @@
+"""Tests for the full 2x2 TL switch netlist (Fig. 4/5 behaviours)."""
+
+import pytest
+
+from repro import constants as C
+from repro.errors import ConfigurationError
+from repro.tl.encoding import decode_packet
+from repro.tl.switch_circuit import TLSwitchCircuit, switch_model
+
+T = 40.0  # bit period in ps at the 25 Gbps link rate
+
+
+def run_single_packet(port=0, bits=(0, 1), payload=b"\xa5\x3c"):
+    sw = TLSwitchCircuit(bit_period_ps=T)
+    sw.inject(port, list(bits), payload)
+    sw.run(until_ps=5000)
+    return sw
+
+
+class TestFigure5Behaviours:
+    """The behaviours validated by the paper's HSPICE waveform (Fig. 5)."""
+
+    def test_routing_bit_zero_decoded_as_one_in_latch(self):
+        # First bit '0' (2T of light) -> routing latch stores 1.
+        sw = run_single_packet(bits=(0, 1))
+        det = sw.detectors[0]
+        rises = det.routing_q.rise_times()
+        assert rises, "routing latch never set"
+        # Stored around the falling edge of the first bit (2T = 80 ps).
+        assert rises[0] == pytest.approx(2 * T, abs=0.5 * T)
+
+    def test_routing_bit_one_keeps_latch_zero(self):
+        sw = run_single_packet(bits=(1, 0))
+        det = sw.detectors[0]
+        assert not det.routing_q.rise_times()
+
+    def test_valid_set_during_first_gap(self):
+        # Valid goes high 2.5T after packet start -- inside the gap period
+        # of the first routing bit -- and stays high to end of packet.
+        sw = run_single_packet(bits=(0, 1))
+        det = sw.detectors[0]
+        rise = det.valid_q.rise_times()[0]
+        assert 2 * T < rise < 3 * T
+
+    def test_valid_resets_at_end_of_packet(self):
+        sw = run_single_packet()
+        det = sw.detectors[0]
+        falls = det.valid_q.fall_times()
+        assert falls, "valid latch never reset"
+        # Reset ~6T after the last light in the packet.
+        last_light = sw.inputs[0].fall_times()[-1]
+        assert falls[0] == pytest.approx(
+            last_light + C.END_OF_PACKET_DARK_PERIODS * T, abs=T
+        )
+
+    def test_maskoff_matches_valid_for_multiplicity_1(self):
+        # Footnote 4: with m=1 the valid and mask-off latches behave alike.
+        sw = run_single_packet()
+        det = sw.detectors[0]
+        assert det.maskoff_q.rise_times() == pytest.approx(
+            det.valid_q.rise_times()
+        )
+
+    def test_packet_routed_to_port0_for_bit0(self):
+        sw = run_single_packet(bits=(0, 1))
+        assert sw.outputs[0].rise_times()
+        assert not sw.outputs[1].rise_times()
+
+    def test_packet_routed_to_port1_for_bit1(self):
+        sw = run_single_packet(bits=(1, 0))
+        assert sw.outputs[1].rise_times()
+        assert not sw.outputs[0].rise_times()
+
+    def test_first_routing_bit_masked_off(self):
+        # The output packet must start with the *second* routing bit: it is
+        # decodable with one fewer routing bit and the same payload.
+        payload = b"\x12\x34\x56"
+        sw = run_single_packet(bits=(0, 1), payload=payload)
+        wf = sw.outputs[0].waveform()
+        got_bits, got_payload = decode_packet(wf, 1, bit_period=T)
+        assert got_bits == [1]
+        assert got_payload == payload
+
+    def test_output_is_input_delayed(self):
+        # Output = masked input through WD (132 ps) + fabric gates.
+        sw = run_single_packet(bits=(0, 0), payload=b"\xff")
+        in_falls = sw.inputs[0].fall_times()
+        out_falls = sw.outputs[0].fall_times()
+        assert out_falls[-1] - in_falls[-1] == pytest.approx(
+            C.WAVEGUIDE_DELAY_WD_PS, abs=10 * sw.circuit.chars.delay_ps
+        )
+
+
+class TestContention:
+    def test_contending_packet_dropped(self):
+        # Two simultaneous packets to the same output: one wins, one drops.
+        sw = TLSwitchCircuit(bit_period_ps=T)
+        sw.inject(0, [0, 1], b"\xaa")
+        sw.inject(1, [0, 1], b"\xbb")
+        sw.run(until_ps=5000)
+        winner_payloads = []
+        wf = sw.outputs[0].waveform()
+        bits, payload = decode_packet(wf, 1, bit_period=T)
+        winner_payloads.append(payload)
+        assert winner_payloads == [b"\xaa"]  # deterministic tie-break
+        assert not sw.outputs[1].rise_times()
+
+    def test_disjoint_destinations_both_pass(self):
+        sw = TLSwitchCircuit(bit_period_ps=T)
+        sw.inject(0, [0, 1], b"\xaa")
+        sw.inject(1, [1, 1], b"\xbb")
+        sw.run(until_ps=5000)
+        _, p0 = decode_packet(sw.outputs[0].waveform(), 1, bit_period=T)
+        _, p1 = decode_packet(sw.outputs[1].waveform(), 1, bit_period=T)
+        assert (p0, p1) == (b"\xaa", b"\xbb")
+
+    def test_staggered_packets_to_same_port(self):
+        # Second packet arrives after the first completes: both delivered.
+        sw = TLSwitchCircuit(bit_period_ps=T)
+        sw.inject(0, [0], b"\x11")
+        # Start well after packet 1 ends (payload 10T + header 3T + 6T gap).
+        sw.inject(1, [0], b"\x22", start_ps=40 * T)
+        sw.run(until_ps=10000)
+        pulses = sw.outputs[0].waveform().intervals()
+        assert len(pulses) >= 6  # both payloads' light made it through
+
+    def test_back_to_back_packets_same_input(self):
+        sw = TLSwitchCircuit(bit_period_ps=T)
+        sw.inject(0, [0], b"\x11")
+        sw.inject(0, [1], b"\x22", start_ps=40 * T)
+        sw.run(until_ps=10000)
+        assert sw.outputs[0].rise_times()
+        assert sw.outputs[1].rise_times()
+
+
+class TestSwitchStructure:
+    def test_gate_count_near_figure4_quote(self):
+        # Fig. 4 quotes "only 60 TL gates" for m=1; Table V lists 64.  Our
+        # structural netlist lands in the same envelope.
+        sw = TLSwitchCircuit()
+        assert 40 <= sw.gate_count <= 70
+
+    def test_invalid_bit_period(self):
+        with pytest.raises(ConfigurationError):
+            TLSwitchCircuit(bit_period_ps=0)
+
+    def test_waveform_report_renders(self):
+        sw = run_single_packet()
+        report = sw.waveform_report(t_end_ps=1500)
+        assert "in0" in report and "out0" in report
+
+
+class TestSwitchModel:
+    def test_table5_gates_verbatim(self):
+        for m, gates in C.GATES_PER_SWITCH.items():
+            assert switch_model(m).gate_count == gates
+
+    def test_table5_latency_verbatim(self):
+        for m, latency in C.SWITCH_LATENCY_NS.items():
+            assert switch_model(m).latency_ns == latency
+
+    def test_abstract_power_claim(self):
+        # 1,112 gates x 0.406 mW with m=4; 96.6X less than electrical
+        # (checked against the electrical model in the power tests).
+        model = switch_model(4)
+        assert model.power_w == pytest.approx(1112 * 0.406e-3, rel=0.01)
+
+    def test_ports(self):
+        model = switch_model(4)
+        assert model.ports_per_direction == 4
+        assert model.total_ports == 8
+
+    def test_extrapolation_continuous(self):
+        # The m=6 extrapolation continues the Table V trend.
+        m5, m6 = switch_model(5), switch_model(6)
+        assert m6.gate_count > m5.gate_count
+        assert m6.latency_ns > m5.latency_ns
+
+    def test_extrapolation_matches_fit_at_known_points(self):
+        from repro.tl.switch_circuit import _extrapolate_gates
+        for m in (2, 3, 4, 5):
+            assert _extrapolate_gates(m) == C.GATES_PER_SWITCH[m]
+
+    def test_invalid_multiplicity(self):
+        with pytest.raises(ConfigurationError):
+            switch_model(0)
+
+    def test_area(self):
+        assert switch_model(1).area_um2 == 64 * C.TL_GATE_AREA_UM2

@@ -1,0 +1,231 @@
+"""Tests for traffic patterns, injection drivers, and HPC traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants as C
+from repro.electrical import IdealNetwork
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    HPC_WORKLOADS,
+    amg_trace,
+    bisection,
+    crystal_router_trace,
+    fillboundary_trace,
+    group_permutation,
+    hotspot,
+    inject_open_loop,
+    mean_interarrival_ns,
+    multigrid_trace,
+    ping_pong1_pairs,
+    ping_pong2_pairs,
+    random_permutation,
+    replay_trace,
+    run_ping_pong,
+    transpose,
+)
+
+
+class TestPatterns:
+    def test_random_permutation_fixed_point_free(self):
+        pattern = random_permutation(64, seed=1)
+        assert len(pattern) == 64
+        assert all(src != dst for src, dst in pattern.items())
+
+    def test_random_permutation_is_permutation(self):
+        pattern = random_permutation(64, seed=1)
+        assert sorted(pattern.values()) == list(range(64))
+
+    def test_random_permutation_deterministic(self):
+        assert random_permutation(32, seed=7) == random_permutation(32, seed=7)
+
+    def test_transpose_definition(self):
+        # 6-bit addresses: a5a4a3 a2a1a0 -> a2a1a0 a5a4a3.
+        pattern = transpose(64)
+        assert pattern[0b000001] == 0b001000
+        assert pattern[0b111000] == 0b000111
+
+    def test_transpose_fixed_points_silent(self):
+        pattern = transpose(64)
+        assert 0 not in pattern  # transpose(0) == 0
+        assert all(src != dst for src, dst in pattern.items())
+
+    def test_transpose_involution(self):
+        pattern = transpose(256)
+        for src, dst in pattern.items():
+            assert pattern[dst] == src
+
+    def test_transpose_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            transpose(100)
+
+    def test_bisection_crosses_halves(self):
+        pattern = bisection(64, seed=2)
+        for src, dst in pattern.items():
+            assert (src < 32) != (dst < 32)
+
+    def test_bisection_symmetric(self):
+        pattern = bisection(64, seed=2)
+        for src, dst in pattern.items():
+            assert pattern[dst] == src
+
+    def test_bisection_odd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bisection(7)
+
+    def test_group_permutation_leaves_own_group(self):
+        from repro.topology.dragonfly import DragonflyTopology
+        n = 128
+        topo = DragonflyTopology.for_nodes(n)
+        per_group = topo.p * topo.a
+        pattern = group_permutation(n, seed=3)
+        for src, dst in pattern.items():
+            assert src // per_group != dst // per_group
+
+    def test_hotspot_all_to_one(self):
+        pattern = hotspot(32, target=5)
+        assert len(pattern) == 31
+        assert set(pattern.values()) == {5}
+        assert 5 not in pattern
+
+    def test_hotspot_target_validated(self):
+        with pytest.raises(ConfigurationError):
+            hotspot(32, target=32)
+
+    def test_ping_pong1_pairs_disjoint(self):
+        pairs = ping_pong1_pairs(64, seed=4)
+        nodes = [n for pair in pairs for n in pair]
+        assert len(nodes) == len(set(nodes)) == 64
+
+    def test_ping_pong2_crosses_group_boundary(self):
+        pairs = ping_pong2_pairs(128, seed=0)
+        assert pairs, "no pairs generated"
+        from repro.topology.dragonfly import DragonflyTopology
+        per_group = DragonflyTopology.for_nodes(128).p * \
+            DragonflyTopology.for_nodes(128).a
+        for a, b in pairs:
+            assert a // per_group == 0
+            assert b // per_group == 1
+
+    @given(st.integers(3, 8).map(lambda b: 2**b))
+    @settings(max_examples=10)
+    def test_transpose_values_in_range(self, n):
+        pattern = transpose(n)
+        assert all(0 <= dst < n for dst in pattern.values())
+
+
+class TestInjection:
+    def test_mean_interarrival_eq1(self):
+        # 512 B / (0.7 * 25 Gbps), with the 8b/10b wire expansion.
+        expected = C.packet_serialization_ns(512) / 0.7
+        assert mean_interarrival_ns(0.7) == pytest.approx(expected)
+
+    def test_load_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_interarrival_ns(0.0)
+        with pytest.raises(ConfigurationError):
+            mean_interarrival_ns(1.5)
+
+    def test_open_loop_injects_all(self):
+        net = IdealNetwork(16)
+        inject_open_loop(net, random_permutation(16, 0), 0.5, 10, seed=1)
+        stats = net.run()
+        assert stats.injected == 160
+        assert stats.delivered == 160
+
+    def test_open_loop_respects_load(self):
+        # Average injection gap should be near the Eq. 1 mean.
+        net = IdealNetwork(4)
+        inject_open_loop(net, {0: 1}, 0.5, 400, seed=1)
+        net.run()
+        total_time = net.env.now - C.IDEAL_PACKET_LATENCY_NS
+        mean_gap = total_time / 400
+        assert mean_gap == pytest.approx(mean_interarrival_ns(0.5), rel=0.2)
+
+    def test_open_loop_packets_validated(self):
+        with pytest.raises(ConfigurationError):
+            inject_open_loop(IdealNetwork(4), {0: 1}, 0.5, 0)
+
+    def test_ping_pong_round_trips(self):
+        net = IdealNetwork(4)
+        stats = run_ping_pong(net, [(0, 1)], rounds=3)
+        # 1 opening ping + up to 2 x rounds replies.
+        assert stats.delivered >= 6
+
+    def test_ping_pong_serialized_in_time(self):
+        net = IdealNetwork(4)
+        run_ping_pong(net, [(0, 1)], rounds=2)
+        assert net.env.now >= 4 * C.IDEAL_PACKET_LATENCY_NS
+
+    def test_ping_pong_needs_pairs(self):
+        with pytest.raises(ConfigurationError):
+            run_ping_pong(IdealNetwork(4), [], rounds=1)
+
+
+class TestHPCTraces:
+    def test_amg_neighbours_are_grid_local(self):
+        trace = amg_trace(64, rounds=1)
+        assert len(trace) == 1
+        assert all(src != dst for src, dst, _ in trace[0])
+
+    def test_amg_symmetric_exchange(self):
+        msgs = set((s, d) for s, d, _ in amg_trace(64, rounds=1)[0])
+        assert all((d, s) in msgs for s, d in msgs)
+
+    def test_crystal_router_is_hypercube(self):
+        trace = crystal_router_trace(16, rounds=1)
+        assert len(trace) == 4  # log2(16) rounds
+        for r, messages in enumerate(trace):
+            for src, dst, _ in messages:
+                assert dst == src ^ (1 << r)
+
+    def test_crystal_router_validates(self):
+        with pytest.raises(ConfigurationError):
+            crystal_router_trace(100)
+
+    def test_multigrid_vcycle_sizes_shrink_then_grow(self):
+        trace = multigrid_trace(64, cycles=1)
+        sizes = [messages[0][2] for messages in trace]
+        assert sizes[0] >= sizes[len(sizes) // 2]
+
+    def test_fb_small_far_messages(self):
+        trace = fillboundary_trace(64, rounds=2, message_bytes=256)
+        assert len(trace) == 2
+        for src, dst, size in trace[0]:
+            assert abs(src - dst) == 32
+            assert size == 256
+
+    def test_fb_validates(self):
+        with pytest.raises(ConfigurationError):
+            fillboundary_trace(7)
+
+    def test_workload_registry(self):
+        assert set(HPC_WORKLOADS) == {
+            "AMG", "CrystalRouter", "MultiGrid", "FB",
+        }
+
+    def test_replay_bulk_synchronous(self):
+        # On the ideal network each round takes exactly one latency unit,
+        # so k rounds finish at k x 200 ns.
+        net = IdealNetwork(64)
+        trace = fillboundary_trace(64, rounds=3)
+        stats = replay_trace(net, trace)
+        assert stats.delivered == sum(len(r) for r in trace)
+        assert net.env.now == pytest.approx(3 * 200.0)
+
+    def test_replay_packetizes_large_messages(self):
+        net = IdealNetwork(16)
+        trace = [[(0, 1, 10_000)]]
+        stats = replay_trace(net, trace, max_message_bytes=4096)
+        assert stats.injected == 3  # 4096 + 4096 + 1808
+
+    def test_replay_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replay_trace(IdealNetwork(4), [])
+
+    def test_replay_on_baldur(self):
+        from repro.core import BaldurNetwork
+        net = BaldurNetwork(64, multiplicity=3, seed=0)
+        stats = replay_trace(net, fillboundary_trace(64, rounds=2))
+        assert stats.delivered == stats.injected
