@@ -8,8 +8,6 @@ Sec. VIII traffic-combining extension.
   hurting delivery.
 """
 
-import random
-
 from conftest import emit
 
 from repro.analysis.tables import format_table

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Resilience demo: chaos-injected faults, diagnosis, and degraded mode.
+
+Walks the full fault lifecycle on a 64-node Baldur network:
+
+1. a chaos schedule (MTBF/MTTR) fails switches at random while a random
+   permutation runs -- the conservation audit proves no packet is lost
+   from the ledger;
+2. the Sec. IV-F diagnosis procedure isolates two concurrently injected
+   faulty switches from probe outcomes alone;
+3. degraded mode masks the diagnosed switch and routes around it via the
+   remaining multiplicity paths, restoring a zero drop rate.
+
+Run:  python examples/resilience_demo.py
+"""
+
+from repro import BaldurNetwork, ChaosSchedule, FaultInjector, inject_open_loop
+from repro.analysis import format_table
+from repro.analysis.resilience import degraded_mode_comparison
+from repro.core.diagnosis import run_diagnosis
+from repro.faults import format_ledger
+from repro.traffic import random_permutation
+
+N_NODES = 64
+LOAD = 0.3
+PACKETS_PER_NODE = 10
+SEED = 7
+
+
+def chaos_run() -> None:
+    net = BaldurNetwork(N_NODES, multiplicity=4, seed=SEED)
+    # Timescales are compressed so failures land inside the short demo
+    # traffic window (~100 us of simulated time).
+    chaos = ChaosSchedule(
+        mtbf_ns=20_000.0,
+        mttr_ns=5_000.0,
+        horizon_ns=200_000.0,
+        seed=SEED,
+    )
+    victims = net.switch_ids()[:8]
+    faults = chaos.faults_for(victims)
+    injector = FaultInjector(faults, seed=SEED)
+    net.attach_faults(injector)
+
+    inject_open_loop(
+        net, random_permutation(N_NODES, SEED), LOAD,
+        PACKETS_PER_NODE, seed=SEED,
+    )
+    stats = net.run()
+    ledger = net.audit()
+    print(
+        f"Chaos run: {len(faults)} fault windows on {len(victims)} "
+        f"switches (availability {chaos.availability:.2f})"
+    )
+    print(f"  drop rate {100 * stats.drop_rate:.2f}%, "
+          f"retransmissions {stats.retransmissions}")
+    print(f"  conservation: {format_ledger(ledger)}")
+
+
+def diagnosis_run() -> None:
+    faults = [(1, 3), (3, 11)]
+    report = run_diagnosis(N_NODES, faults, n_probes=128, seed=SEED)
+    rows = [[k, str(v)] for k, v in report.items()]
+    print()
+    print(format_table(
+        ["field", "value"], rows,
+        title="Diagnosis of two concurrent faults",
+    ))
+
+
+def degraded_run() -> None:
+    cmp = degraded_mode_comparison(
+        n_nodes=N_NODES, load=0.5, packets_per_node=PACKETS_PER_NODE,
+        seed=SEED,
+    )
+    fault = cmp["fault"]
+    rows = [
+        [mode, 100 * row["drop_rate"], row["retransmissions"],
+         row["avg_latency_ns"]]
+        for mode, row in (("unmasked", cmp["unmasked"]),
+                          ("masked", cmp["masked"]))
+    ]
+    print()
+    print(format_table(
+        ["mode", "drop_%", "retransmissions", "avg_ns"], rows,
+        title=(
+            f"Degraded mode -- faulty switch (stage {fault['stage']}, "
+            f"switch {fault['switch']})"
+        ),
+    ))
+    print(
+        "\nMasking the diagnosed switch routes traffic through the "
+        "remaining multiplicity paths."
+    )
+
+
+def main() -> None:
+    chaos_run()
+    diagnosis_run()
+    degraded_run()
+
+
+if __name__ == "__main__":
+    main()

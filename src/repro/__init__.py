@@ -26,7 +26,15 @@ Quick start::
     print(stats.summary())
 """
 
-from repro.analysis import build_network, figure6, figure7, table5
+from repro.analysis import (
+    build_network,
+    degraded_mode_comparison,
+    figure6,
+    figure7,
+    resilience_sweep,
+    run_with_failures,
+    table5,
+)
 from repro.core import (
     BaldurNetwork,
     multiplicity_for_scale,
@@ -39,6 +47,15 @@ from repro.electrical import (
     FatTreeNetwork,
     IdealNetwork,
     MultiButterflyNetwork,
+)
+from repro.errors import FaultInjectionError, InvariantViolationError
+from repro.faults import (
+    ChaosSchedule,
+    DegradedLink,
+    FailStop,
+    FaultInjector,
+    SlowGateDrift,
+    audit_conservation,
 )
 from repro.power import (
     awgr_comparison,
@@ -98,4 +115,15 @@ __all__ = [
     "figure6",
     "figure7",
     "table5",
+    "degraded_mode_comparison",
+    "resilience_sweep",
+    "run_with_failures",
+    "FaultInjectionError",
+    "InvariantViolationError",
+    "ChaosSchedule",
+    "DegradedLink",
+    "FailStop",
+    "FaultInjector",
+    "SlowGateDrift",
+    "audit_conservation",
 ]

@@ -9,6 +9,11 @@ from repro.analysis.experiments import (
     run_open_loop,
     table5,
 )
+from repro.analysis.resilience import (
+    degraded_mode_comparison,
+    resilience_sweep,
+    run_with_failures,
+)
 from repro.analysis.tables import format_latency_grid, format_table, normalize_to
 
 __all__ = [
@@ -19,6 +24,9 @@ __all__ = [
     "pattern_destinations",
     "run_open_loop",
     "table5",
+    "degraded_mode_comparison",
+    "resilience_sweep",
+    "run_with_failures",
     "format_latency_grid",
     "format_table",
     "normalize_to",

@@ -8,7 +8,7 @@ without matplotlib.
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from typing import Dict
 
 __all__ = ["ascii_plot"]
 

@@ -1,0 +1,176 @@
+"""Resilience experiments: the five networks under injected failures.
+
+The paper argues (Sec. IV-E/IV-F) that Baldur's drop-and-retransmit
+discipline plus its m-way path multiplicity make the fabric robust to
+switch failures: a diagnosed faulty switch can simply be masked out of
+the multiplicity set and traffic routes around it.  These drivers
+quantify that claim and extend the comparison to the electrical
+baselines, using the unified fault-injection layer in
+:mod:`repro.faults`.
+
+Three entry points:
+
+* :func:`run_with_failures` -- one network under ``k`` failed switches
+  (permanent fail-stop or a :class:`~repro.faults.ChaosSchedule`),
+  with the packet-conservation ledger attached to the returned row;
+* :func:`resilience_sweep` -- the full grid of networks x failure
+  counts (the ``repro-bench resilience`` table);
+* :func:`degraded_mode_comparison` -- Baldur with one faulty switch,
+  unmasked vs. masked (degraded mode), demonstrating that masking a
+  diagnosed fault strictly reduces the drop rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro import constants as C
+from repro.analysis.experiments import (
+    DEFAULT_UNTIL_NS,
+    NETWORK_NAMES,
+    build_network,
+)
+from repro.core.baldur_network import BaldurNetwork
+from repro.faults import ChaosSchedule, FailStop, FaultInjector
+from repro.sim.rand import stream
+from repro.traffic import inject_open_loop, random_permutation
+
+__all__ = [
+    "run_with_failures",
+    "resilience_sweep",
+    "degraded_mode_comparison",
+]
+
+
+def _pick_failed(switch_ids: List[int], k: int, seed: int) -> List[int]:
+    """Deterministically sample ``k`` distinct switch ids to fail."""
+    if k <= 0 or not switch_ids:
+        return []
+    rng = stream(seed, "resilience-failed-switches")
+    k = min(k, len(switch_ids))
+    return sorted(rng.sample(list(switch_ids), k))
+
+
+def run_with_failures(
+    network_name: str,
+    n_nodes: int,
+    k: int,
+    load: float = 0.3,
+    packets_per_node: int = 20,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+    chaos: Optional[ChaosSchedule] = None,
+) -> dict:
+    """One open-loop run with ``k`` failed switches; returns a report row.
+
+    Failed switches are sampled deterministically from the network's
+    switch ids.  Without ``chaos`` each failure is a permanent fail-stop;
+    with a :class:`~repro.faults.ChaosSchedule` each failed switch gets
+    the schedule's alternating up/down fault windows instead.  The run is
+    always audited -- the row carries the conservation ledger, and a leak
+    would have raised :class:`~repro.errors.InvariantViolationError`.
+    """
+    net = build_network(network_name, n_nodes, seed)
+    failed = _pick_failed(list(net.switch_ids()), k, seed)
+    if chaos is not None:
+        faults = chaos.faults_for(failed)
+    else:
+        faults = [FailStop(sid) for sid in failed]
+    injector = FaultInjector(faults, seed=seed)
+    net.attach_faults(injector)
+
+    destinations = random_permutation(n_nodes, seed)
+    inject_open_loop(net, destinations, load, packets_per_node, seed=seed)
+    stats = net.run(until=until)
+    ledger = net.audit()
+
+    fault_drops = sum(injector.drops_by_switch.values())
+    return {
+        "network": network_name,
+        "k_failed": len(failed),
+        "failed_switches": failed,
+        "injected": stats.injected,
+        "delivered": stats.delivered,
+        "avg_latency_ns": stats.average_latency,
+        "tail_latency_ns": stats.tail_latency,
+        "drop_rate": stats.drop_rate,
+        "given_up": stats.given_up,
+        "fault_drops": fault_drops,
+        "balance": ledger["balance"],
+    }
+
+
+def resilience_sweep(
+    n_nodes: int = 64,
+    failure_counts: Iterable[int] = (0, 1, 2, 4),
+    networks: Iterable[str] = NETWORK_NAMES,
+    load: float = 0.3,
+    packets_per_node: int = 20,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+    chaos: Optional[ChaosSchedule] = None,
+) -> List[dict]:
+    """The resilience grid: every network under every failure count.
+
+    Returns one :func:`run_with_failures` row per (network, k) cell; the
+    conservation invariant is checked on every cell.
+    """
+    rows = []
+    for network in networks:
+        for k in failure_counts:
+            rows.append(
+                run_with_failures(
+                    network, n_nodes, k, load, packets_per_node,
+                    seed, until, chaos,
+                )
+            )
+    return rows
+
+
+def degraded_mode_comparison(
+    n_nodes: int = 64,
+    multiplicity: int = C.BALDUR_MULTIPLICITY,
+    load: float = 0.5,
+    packets_per_node: int = 30,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+) -> Dict[str, dict]:
+    """Baldur with one faulty switch: unmasked vs. degraded mode.
+
+    The faulty switch is drawn from a middle stage (entry/exit stages
+    would disconnect hosts outright, which masking cannot help).  The
+    ``masked`` run models post-diagnosis degraded mode: the faulty
+    switch is excluded from every upstream multiplicity set, so traffic
+    routes around it and only the remaining m-1 paths are used.
+    """
+    probe = BaldurNetwork(n_nodes, multiplicity=multiplicity, seed=seed)
+    n_stages = probe.topology.n_stages
+    per_stage = probe.topology.switches_per_stage
+    rng = stream(seed, "degraded-mode-fault")
+    stage = rng.randrange(1, max(2, n_stages - 1))
+    switch = rng.randrange(per_stage)
+
+    def run(masked: bool) -> dict:
+        net = BaldurNetwork(n_nodes, multiplicity=multiplicity, seed=seed)
+        net.inject_fault(stage, switch)
+        if masked:
+            net.mask_switch(stage, switch)
+        destinations = random_permutation(n_nodes, seed)
+        inject_open_loop(net, destinations, load, packets_per_node, seed=seed)
+        stats = net.run(until=until)
+        return {
+            "drop_rate": stats.drop_rate,
+            "drops": stats.drops,
+            "avg_latency_ns": stats.average_latency,
+            "tail_latency_ns": stats.tail_latency,
+            "given_up": stats.given_up,
+            "retransmissions": stats.retransmissions,
+            "delivered": stats.delivered,
+            "injected": stats.injected,
+        }
+
+    return {
+        "fault": {"stage": stage, "switch": switch},
+        "unmasked": run(masked=False),
+        "masked": run(masked=True),
+    }

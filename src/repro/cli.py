@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli packaging
     python -m repro.cli awgr
     python -m repro.cli diagnose --nodes 64 --stage 2 --switch 13
+    python -m repro.cli resilience --nodes 64 --packets 20
 """
 
 from __future__ import annotations
@@ -192,6 +193,68 @@ def _cmd_diagnose(args) -> None:
                        title="Sec. IV-F -- fault diagnosis"))
 
 
+def _cmd_resilience(args) -> None:
+    from repro.analysis.resilience import (
+        degraded_mode_comparison,
+        resilience_sweep,
+    )
+    from repro.faults import ChaosSchedule
+
+    chaos = None
+    if args.mtbf > 0:
+        chaos = ChaosSchedule(
+            mtbf_ns=args.mtbf,
+            mttr_ns=args.mttr,
+            horizon_ns=args.until,
+            seed=args.seed,
+        )
+    rows = resilience_sweep(
+        n_nodes=args.nodes,
+        failure_counts=tuple(args.failures),
+        load=args.load,
+        packets_per_node=args.packets,
+        seed=args.seed,
+        until=args.until,
+        chaos=chaos,
+    )
+    print(format_table(
+        ["network", "k", "delivered", "drop_%", "given_up",
+         "fault_drops", "avg_ns", "balance"],
+        [
+            [r["network"], r["k_failed"],
+             f"{r['delivered']}/{r['injected']}",
+             100 * r["drop_rate"], r["given_up"], r["fault_drops"],
+             r["avg_latency_ns"], r["balance"]]
+            for r in rows
+        ],
+        title=f"Resilience sweep ({args.nodes} nodes, load {args.load}"
+        + (", chaos" if chaos else ", permanent fail-stop") + ")",
+    ))
+    print()
+
+    cmp = degraded_mode_comparison(
+        n_nodes=args.nodes,
+        load=args.load,
+        packets_per_node=args.packets,
+        seed=args.seed,
+        until=args.until,
+    )
+    fault = cmp["fault"]
+    print(format_table(
+        ["mode", "drop_%", "retransmissions", "given_up", "avg_ns",
+         "tail_ns"],
+        [
+            [mode, 100 * row["drop_rate"], row["retransmissions"],
+             row["given_up"], row["avg_latency_ns"],
+             row["tail_latency_ns"]]
+            for mode, row in (("unmasked", cmp["unmasked"]),
+                              ("masked", cmp["masked"]))
+        ],
+        title=f"Degraded mode -- faulty switch (stage {fault['stage']}, "
+        f"switch {fault['switch']})",
+    ))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -233,6 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
         stage=dict(type=int, default=2),
         switch=dict(type=int, default=13),
         probes=dict(type=int, default=200))
+    resilience = add(
+        "resilience", _cmd_resilience,
+        nodes=dict(type=int, default=64),
+        packets=dict(type=int, default=20),
+        load=dict(type=float, default=0.3),
+        mtbf=dict(type=float, default=0.0,
+                  help="chaos MTBF in ns (<= 0 = permanent fail-stop)"),
+        mttr=dict(type=float, default=100_000.0),
+        until=dict(type=float, default=50_000_000.0))
+    resilience.add_argument("--failures", type=int, nargs="+",
+                            default=[0, 1, 2, 4])
     return parser
 
 

@@ -23,7 +23,7 @@ Latency results account for all drop/retransmission overheads (Sec. V-B).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import constants as C
 from repro.errors import ConfigurationError
@@ -126,6 +126,14 @@ class BaldurNetwork(NetworkSimulator):
         self.test_port: Optional[int] = None
         self.record_paths = False
         self.paths: Dict[int, List[int]] = {}
+        # Degraded-mode operation (Sec. IV-F): switches diagnosed as faulty
+        # and masked out of routing; the m-way multiplicity routes around.
+        self.masked_switches: Set[Tuple[int, int]] = set()
+        # Retransmission hardening: pids the source explicitly abandoned
+        # (at-most-once delivery suppresses any late copy), and per-flow
+        # give-up counts for unreachable-destination reporting.
+        self._given_up_pids: Set[int] = set()
+        self.unreachable: Dict[Tuple[int, int], int] = {}
 
     # -- fault injection and diagnosis support (Sec. IV-F) ------------------
 
@@ -136,6 +144,29 @@ class BaldurNetwork(NetworkSimulator):
         if not 0 <= switch < self.topology.switches_per_stage:
             raise ConfigurationError(f"switch {switch} out of range")
         self.faulty_switches.add((stage, switch))
+
+    def mask_switch(self, stage: int, switch: int) -> None:
+        """Degraded mode (Sec. IV-F): exclude a diagnosed switch from
+        routing.  Upstream switches stop selecting ports that lead to it,
+        so traffic flows through the remaining m-1 paths of each direction.
+        Entry (stage-0) switches cannot be routed around -- masking one
+        only documents the fault; its hosts' traffic still enters there.
+        """
+        if not 0 <= stage < self.topology.n_stages:
+            raise ConfigurationError(f"stage {stage} out of range")
+        if not 0 <= switch < self.topology.switches_per_stage:
+            raise ConfigurationError(f"switch {switch} out of range")
+        self.masked_switches.add((stage, switch))
+
+    def unmask_switch(self, stage: int, switch: int) -> None:
+        """Return a repaired switch to service."""
+        self.masked_switches.discard((stage, switch))
+
+    def switch_ids(self) -> List[int]:
+        """Flat ids of every 2x2 switch (stage-major, as in diagnosis)."""
+        return list(
+            range(self.topology.n_stages * self.topology.switches_per_stage)
+        )
 
     def enable_test_mode(self, port: int = 0) -> None:
         """Diagnosis test mode (Sec. IV-F): test signals block all output
@@ -158,6 +189,8 @@ class BaldurNetwork(NetworkSimulator):
             # In-network filtering (Sec. VIII): the first-stage switch
             # blocks the packet; no retransmission state is created.
             self.filtered_packets += 1
+            if not packet.is_ack:
+                self._record_terminal_drop(packet)
             return
         if self.enable_retransmission and not packet.is_ack:
             self._pending[packet.pid] = packet
@@ -200,11 +233,16 @@ class BaldurNetwork(NetworkSimulator):
             self.paths.setdefault(packet.pid, []).append(
                 self.flat_switch_id(stage, switch)
             )
-        if (stage, switch) in self.faulty_switches:
-            packet.dropped = True
-            self.stats.record_drop(is_ack=packet.is_ack)
+        injector = self.fault_injector
+        flat = stage * topo.switches_per_stage + switch
+        if (stage, switch) in self.faulty_switches or (
+            injector is not None and injector.check_drop(flat, now)
+        ):
+            self._drop_in_network(packet)
             return
         bit = topo.routing_bit(packet.dst, stage)
+        last = topo.is_last_stage(stage)
+        targets = topo.next_switches(stage, switch, bit)
         ports = self._busy[
             (stage * topo.switches_per_stage + switch) * 2 + bit
         ]
@@ -212,18 +250,25 @@ class BaldurNetwork(NetworkSimulator):
             free = [self.test_port] if ports[self.test_port] <= now else []
         else:
             free = [k for k in range(self.multiplicity) if ports[k] <= now]
+            if self.masked_switches and not last:
+                # Degraded mode: never forward into a masked switch.
+                free = [
+                    k for k in free
+                    if (stage + 1, targets[k]) not in self.masked_switches
+                ]
         if not free:
-            packet.dropped = True
-            self.stats.record_drop(is_ack=packet.is_ack)
+            self._drop_in_network(packet)
             return
         k = free[self._rng.randrange(len(free))] if len(free) > 1 else free[0]
         ports[k] = now + packet.serialization_time_ns(self.link_rate_gbps)
         packet.hops += 1
-        target = topo.next_switches(stage, switch, bit)[k]
-        if topo.is_last_stage(stage):
+        latency = self.switch_latency_ns
+        if injector is not None:
+            latency += injector.extra_latency_ns(flat, now)
+        if last:
             # Head exits to the host link; last byte lands after tx time.
             self.env.schedule(
-                self.switch_latency_ns
+                latency
                 + self.link_delay_ns
                 + packet.serialization_time_ns(self.link_rate_gbps),
                 self._deliver,
@@ -231,12 +276,19 @@ class BaldurNetwork(NetworkSimulator):
             )
         else:
             self.env.schedule(
-                self.switch_latency_ns,
+                latency,
                 self._arrive_stage,
                 packet,
                 stage + 1,
-                target,
+                targets[k],
             )
+
+    def _drop_in_network(self, packet: Packet) -> None:
+        """An in-network drop; terminal when no retransmission follows."""
+        packet.dropped = True
+        self.stats.record_drop(is_ack=packet.is_ack)
+        if not packet.is_ack and not self.enable_retransmission:
+            self._record_terminal_drop(packet)
 
     # -- delivery and acknowledgements ------------------------------------------------
 
@@ -244,6 +296,11 @@ class BaldurNetwork(NetworkSimulator):
         now = self.env.now
         if packet.is_ack:
             self._handle_ack(packet)
+            return
+        if packet.pid in self._given_up_pids:
+            # The source already declared this packet lost and the ledger
+            # counted it as given up; at-most-once delivery suppresses the
+            # late copy entirely (no stats, no hook, no ACK).
             return
         if packet.pid not in self._delivered_pids:
             self._delivered_pids.add(packet.pid)
@@ -308,9 +365,19 @@ class BaldurNetwork(NetworkSimulator):
         if packet.pid not in self._pending:
             return  # ACKed in the meantime
         if attempt >= self.max_attempts:
+            # Max-retry give-up: report the unreachable destination
+            # explicitly instead of backing off forever.
             self._pending.pop(packet.pid, None)
             self._retx_buffer_bytes[packet.src] -= packet.size_bytes
             self.lost_packets += 1
+            if packet.pid not in self._delivered_pids:
+                # Truly undelivered (not just a lost ACK): close the
+                # ledger entry and bar any still-streaming copy from
+                # being counted later (the delivery/give-up race).
+                self._given_up_pids.add(packet.pid)
+                flow = (packet.src, packet.dst)
+                self.unreachable[flow] = self.unreachable.get(flow, 0) + 1
+                self._record_give_up(packet)
             return
         self.stats.record_retransmission()
         packet.retransmissions += 1

@@ -7,18 +7,30 @@ greater than 1.  Diagnostic probe packets are then sent between node
 pairs; intersecting the paths of lost probes and subtracting the switches
 on any delivered probe's path converges on the faulty switch.
 
+With *multiple* concurrent faults a single deterministic path family is
+not enough -- lost probes through different faults may share no switch.
+The multi-fault flow therefore repeats the probe round once per test
+port (each port selects a different deterministic path family over the
+same wiring) and runs group-testing isolation
+(:func:`~repro.tl.reliability.diagnose_faulty_switches`) over the union
+of the observations.
+
 This module drives the whole procedure against a live
-:class:`~repro.core.baldur_network.BaldurNetwork` with an injected fault.
+:class:`~repro.core.baldur_network.BaldurNetwork` with injected faults.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.baldur_network import BaldurNetwork
 from repro.errors import ConfigurationError
 from repro.sim.rand import stream
-from repro.tl.reliability import diagnose_faulty_switch, make_observation
+from repro.tl.reliability import (
+    diagnose_faulty_switch,
+    diagnose_faulty_switches,
+    make_observation,
+)
 
 __all__ = ["run_diagnosis", "probe_outcomes"]
 
@@ -48,7 +60,6 @@ def probe_outcomes(
     network.run()
     observations = []
     for packet in packets:
-        path = network.paths.get(packet.pid, [])
         delivered = packet.deliver_time is not None
         # A dropped probe's recorded path ends at the faulty switch; the
         # full intended path is the deterministic one.
@@ -71,28 +82,38 @@ def _deterministic_flat_path(
     return path
 
 
-def run_diagnosis(
-    n_nodes: int,
-    faulty: Tuple[int, int],
-    multiplicity: int = 4,
-    n_probes: int = 64,
-    seed: int = 0,
-    test_port: int = 0,
-) -> dict:
-    """Full diagnosis flow: inject a fault, probe, isolate.
+def _normalize_faults(faulty) -> List[Tuple[int, int]]:
+    """Accept ``(stage, switch)``, a sequence of them, or nothing."""
+    if faulty is None:
+        return []
+    try:
+        items = list(faulty)
+    except TypeError:
+        raise ConfigurationError(
+            f"faulty must be a (stage, switch) pair or a sequence of "
+            f"them, got {faulty!r}"
+        )
+    if not items:
+        return []
+    if all(isinstance(x, int) for x in items):
+        items = [tuple(items)]
+    normalized = []
+    for item in items:
+        try:
+            stage, switch = item
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"each fault must be a (stage, switch) pair, got {item!r}"
+            )
+        if not isinstance(stage, int) or not isinstance(switch, int):
+            raise ConfigurationError(
+                f"fault coordinates must be integers, got {item!r}"
+            )
+        normalized.append((stage, switch))
+    return normalized
 
-    Returns a report with the candidate switches; with enough probes the
-    candidate list converges to exactly the injected fault.
-    """
-    network = BaldurNetwork(
-        n_nodes,
-        multiplicity=multiplicity,
-        seed=seed,
-        enable_retransmission=False,
-    )
-    network.inject_fault(*faulty)
-    network.enable_test_mode(test_port)
 
+def _probe_list(n_nodes: int, n_probes: int, seed: int) -> List[Tuple[int, int]]:
     rng = stream(seed, "diagnosis-probes")
     probes = []
     for _ in range(n_probes):
@@ -101,14 +122,68 @@ def run_diagnosis(
         while dst == src:
             dst = rng.randrange(n_nodes)
         probes.append((src, dst))
+    return probes
 
-    observations = probe_outcomes(network, probes)
-    candidates = diagnose_faulty_switch(observations)
-    faulty_flat = network.flat_switch_id(*faulty)
-    return {
-        "injected_flat_id": faulty_flat,
+
+def run_diagnosis(
+    n_nodes: int,
+    faulty,
+    multiplicity: int = 4,
+    n_probes: int = 64,
+    seed: int = 0,
+    test_port: int = 0,
+) -> dict:
+    """Full diagnosis flow: inject fault(s), probe, isolate.
+
+    ``faulty`` is a single ``(stage, switch)`` pair, a sequence of such
+    pairs (including the empty sequence for a fault-free control run), or
+    ``None``.  A single fault keeps the original one-round flow through
+    ``test_port``; zero or multiple faults probe once per test port
+    (``range(multiplicity)``) -- the networks share seed and therefore
+    wiring, so observations compose -- and run multi-fault group-testing
+    isolation over the union.
+
+    Returns a report with the candidate switches; with enough probes the
+    candidate list converges to exactly the injected faults.
+    """
+    faults = _normalize_faults(faulty)
+
+    def fresh_network() -> BaldurNetwork:
+        network = BaldurNetwork(
+            n_nodes,
+            multiplicity=multiplicity,
+            seed=seed,
+            enable_retransmission=False,
+        )
+        for stage, switch in faults:
+            network.inject_fault(stage, switch)
+        return network
+
+    probes = _probe_list(n_nodes, n_probes, seed)
+
+    if len(faults) == 1:
+        network = fresh_network()
+        network.enable_test_mode(test_port)
+        observations = probe_outcomes(network, probes)
+        candidates = diagnose_faulty_switch(observations)
+        injected = [network.flat_switch_id(*faults[0])]
+    else:
+        observations = []
+        network = None
+        for port in range(multiplicity):
+            network = fresh_network()
+            network.enable_test_mode(port)
+            observations.extend(probe_outcomes(network, probes))
+        candidates = diagnose_faulty_switches(observations)
+        injected = sorted(network.flat_switch_id(*f) for f in faults)
+
+    report = {
+        "injected_flat_ids": sorted(injected),
         "candidates": candidates,
-        "isolated": candidates == [faulty_flat],
-        "probes_sent": len(probes),
+        "isolated": candidates == sorted(injected),
+        "probes_sent": len(observations),
         "probes_lost": sum(1 for o in observations if not o.delivered),
     }
+    if len(faults) == 1:
+        report["injected_flat_id"] = injected[0]
+    return report

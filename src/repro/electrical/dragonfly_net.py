@@ -106,6 +106,10 @@ class DragonflyNetwork(NetworkSimulator):
                     VCBuffer(),
                 )
 
+    def iter_switches(self):
+        """All routers (fault-injection targets)."""
+        return self.routers
+
     # -- port arithmetic ---------------------------------------------------------
 
     def _terminal_port(self, dst: int) -> int:

@@ -105,6 +105,10 @@ class FatTreeNetwork(NetworkSimulator):
                 port = core.add_port(C.LINK_DATA_RATE_GBPS, LEVEL3_NS)
                 port.connect_switch(self._agg(pod, a), VCBuffer())
 
+    def iter_switches(self):
+        """Edge, aggregation, and core switches (fault-injection targets)."""
+        return [*self.edges, *self.aggs, *self.cores]
+
     def _edge(self, pod: int, e: int) -> Switch:
         return self.edges[pod * self.topology.half + e]
 

@@ -102,6 +102,10 @@ class MultiButterflyNetwork(NetworkSimulator):
     def _switch(self, stage: int, idx: int) -> Switch:
         return self.switches[stage * self.topology.switches_per_stage + idx]
 
+    def iter_switches(self):
+        """All buffered switches, stage-major (fault-injection targets)."""
+        return self.switches
+
     def _route(self, switch: Switch, packet: Packet):
         """Direction by routing bit; least-loaded port among the m copies."""
         stage = switch.meta["stage"]

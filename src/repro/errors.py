@@ -28,3 +28,17 @@ class EncodingError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid experiment or model configuration values."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault-injection requests: malformed fault models
+    (negative corruption probability, an end time before the start time, an
+    unknown switch id), inconsistent chaos-schedule parameters (non-positive
+    MTBF/MTTR), or attaching faults to a network that cannot host them."""
+
+
+class InvariantViolationError(ReproError):
+    """Raised when the packet-conservation audit detects a leak: the ledger
+    ``injected = delivered + terminally dropped + given up + in flight``
+    failed to balance, or a packet was delivered/dropped/given-up twice.
+    Any occurrence is a simulator bug, never a legitimate network outcome."""

@@ -1,0 +1,45 @@
+"""Unified fault-injection and resilience subsystem.
+
+Four pieces, threaded through every network simulator:
+
+* **fault models** (:mod:`repro.faults.models`) -- fail-stop switches,
+  degraded links driven by the Sec. IV-F jitter error model, transient
+  windows, and slow-gate latency drift;
+* **chaos schedules** (:mod:`repro.faults.chaos`) -- seeded MTBF/MTTR
+  failure arrival processes that flip faults on and off during a run;
+* **the injector** (:mod:`repro.faults.injector`) -- live fault state
+  consulted by Baldur and the electrical baselines through one API
+  (:meth:`~repro.netsim.network.NetworkSimulator.attach_faults`);
+* **conservation audits** (:mod:`repro.faults.audit`) -- the always-on
+  ``injected = delivered + terminal_drops + given_up + in_flight``
+  invariant check behind every ``run()``.
+
+Degraded-mode operation (mask a diagnosed switch and route around it via
+path multiplicity) lives on :class:`~repro.core.baldur_network.
+BaldurNetwork` itself; the experiment drivers are in
+:mod:`repro.analysis.resilience`.
+"""
+
+from repro.faults.audit import audit_all, audit_conservation, format_ledger
+from repro.faults.chaos import ChaosSchedule
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    DegradedLink,
+    FailStop,
+    Fault,
+    SlowGateDrift,
+    degraded_link_from_jitter,
+)
+
+__all__ = [
+    "Fault",
+    "FailStop",
+    "DegradedLink",
+    "SlowGateDrift",
+    "degraded_link_from_jitter",
+    "FaultInjector",
+    "ChaosSchedule",
+    "audit_conservation",
+    "audit_all",
+    "format_ledger",
+]

@@ -1,0 +1,46 @@
+"""Conservation auditing helpers.
+
+The invariant itself lives in
+:meth:`repro.netsim.network.NetworkSimulator.audit` (it is checked after
+every ``run()``); this module adds the cross-network convenience used by
+the resilience experiments and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+__all__ = ["audit_conservation", "audit_all", "format_ledger"]
+
+
+def audit_conservation(network) -> Dict[str, int]:
+    """Audit one network and return its conservation ledger.
+
+    Raises :class:`~repro.errors.InvariantViolationError` if
+    ``injected != delivered + terminal_drops + given_up + in_flight``.
+    """
+    return network.audit()
+
+
+def format_ledger(ledger: Dict[str, int]) -> str:
+    """One-line rendering of a conservation ledger."""
+    return (
+        f"injected={ledger['injected']} = "
+        f"delivered={ledger['delivered']} "
+        f"+ terminal_drops={ledger['terminal_drops']} "
+        f"+ given_up={ledger['given_up']} "
+        f"+ in_flight={ledger['in_flight']}"
+    )
+
+
+def audit_all(networks: Iterable) -> Dict[str, Dict[str, int]]:
+    """Audit several networks; keys are ``describe()`` or class names."""
+    out = {}
+    for network in networks:
+        name = (
+            network.describe()
+            if hasattr(network, "describe")
+            else type(network).__name__
+        )
+        out[name] = network.audit()
+    return out

@@ -1,0 +1,87 @@
+"""Chaos scheduling: MTBF/MTTR-driven failure arrival processes.
+
+A :class:`ChaosSchedule` turns reliability parameters into concrete,
+seeded fault windows: each switch independently alternates between up
+intervals (exponential with mean ``mtbf_ns``) and down intervals
+(exponential with mean ``mttr_ns``) over a fixed horizon -- the standard
+alternating-renewal availability model.  The generated faults are plain
+:class:`~repro.faults.models.Fault` windows, so one schedule applies
+identically to Baldur and the electrical baselines, and two runs with the
+same seed see byte-identical failure timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import FaultInjectionError
+from repro.faults.models import DegradedLink, FailStop, Fault
+from repro.sim.rand import stream
+
+__all__ = ["ChaosSchedule"]
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An MTBF/MTTR on/off failure process over a simulation horizon.
+
+    ``kind`` selects the fault shape injected during down intervals:
+    ``"fail_stop"`` (default) or ``"degraded"`` (corruption with
+    ``corruption_prob``).  Expected availability of each switch is
+    ``mtbf / (mtbf + mttr)``.
+    """
+
+    mtbf_ns: float
+    mttr_ns: float
+    horizon_ns: float
+    seed: int = 0
+    kind: str = "fail_stop"
+    corruption_prob: float = 1.0
+
+    def __post_init__(self):
+        if self.mtbf_ns <= 0 or self.mttr_ns <= 0:
+            raise FaultInjectionError(
+                f"MTBF and MTTR must be positive, got "
+                f"mtbf={self.mtbf_ns}, mttr={self.mttr_ns}"
+            )
+        if self.horizon_ns <= 0:
+            raise FaultInjectionError(
+                f"horizon must be positive, got {self.horizon_ns}"
+            )
+        if self.kind not in ("fail_stop", "degraded"):
+            raise FaultInjectionError(
+                f"unknown chaos fault kind {self.kind!r}"
+            )
+
+    @property
+    def availability(self) -> float:
+        """Steady-state fraction of time each switch is up."""
+        return self.mtbf_ns / (self.mtbf_ns + self.mttr_ns)
+
+    def faults_for(self, switch_ids: Iterable[int]) -> List[Fault]:
+        """Generate the fault windows for the given switches.
+
+        Each switch draws from its own named stream, so the timeline of
+        one switch is independent of which other switches participate.
+        """
+        faults: List[Fault] = []
+        for sid in switch_ids:
+            rng = stream(self.seed, f"chaos-{sid}")
+            t = 0.0
+            while True:
+                t += rng.expovariate(1.0 / self.mtbf_ns)
+                if t >= self.horizon_ns:
+                    break
+                down = rng.expovariate(1.0 / self.mttr_ns)
+                faults.append(self._make_fault(sid, t, t + down))
+                t += down
+        return faults
+
+    def _make_fault(self, sid: int, start: float, end: float) -> Fault:
+        if self.kind == "degraded":
+            return DegradedLink(
+                sid, start_ns=start, end_ns=end,
+                corruption_prob=self.corruption_prob,
+            )
+        return FailStop(sid, start_ns=start, end_ns=end)

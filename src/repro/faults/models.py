@@ -1,0 +1,153 @@
+"""Fault model library (Sec. IV-F fault shapes, generalized).
+
+Every fault targets one switch, addressed by the network's *flat switch
+id* (:meth:`~repro.netsim.network.NetworkSimulator.switch_ids`), and is
+active over a time window ``[start_ns, end_ns)`` -- a finite window makes
+any fault *transient*; the default window is permanent.
+
+Four shapes cover the paper's reliability discussion:
+
+* :class:`FailStop` -- the switch drops every packet it sees (the gate
+  stuck-at faults of Sec. IV-F);
+* :class:`DegradedLink` -- each traversing packet is independently
+  corrupted (and therefore dropped at the CRC check) with a fixed
+  probability; :func:`degraded_link_from_jitter` derives that probability
+  from the timing-jitter error model of :mod:`repro.tl.reliability`;
+* transient variants of either -- any fault with a finite ``end_ns``;
+* :class:`SlowGateDrift` -- the switch still routes correctly but its
+  latency widens (aging TL gates), optionally growing over time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import constants as C
+from repro.errors import FaultInjectionError
+
+__all__ = [
+    "Fault",
+    "FailStop",
+    "DegradedLink",
+    "SlowGateDrift",
+    "degraded_link_from_jitter",
+]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: a switch id plus an activity window ``[start, end)``."""
+
+    switch_id: int
+    start_ns: float = 0.0
+    end_ns: float = math.inf
+
+    def __post_init__(self):
+        if self.switch_id < 0:
+            raise FaultInjectionError(
+                f"switch id must be non-negative, got {self.switch_id}"
+            )
+        if self.start_ns < 0:
+            raise FaultInjectionError(
+                f"fault start must be non-negative, got {self.start_ns}"
+            )
+        if self.end_ns <= self.start_ns:
+            raise FaultInjectionError(
+                f"fault window is empty: [{self.start_ns}, {self.end_ns})"
+            )
+
+    def active(self, now: float) -> bool:
+        """True while the fault affects traffic."""
+        return self.start_ns <= now < self.end_ns
+
+    @property
+    def transient(self) -> bool:
+        """True for faults that repair themselves (finite window)."""
+        return math.isfinite(self.end_ns)
+
+
+@dataclass(frozen=True)
+class FailStop(Fault):
+    """The switch drops 100% of traffic while active."""
+
+
+@dataclass(frozen=True)
+class DegradedLink(Fault):
+    """Each traversing packet is corrupted with ``corruption_prob``.
+
+    A corrupted packet fails its CRC at the destination, which in a
+    bufferless network is indistinguishable from an in-network drop, so
+    the simulators discard it at the degraded switch.
+    """
+
+    corruption_prob: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0.0 <= self.corruption_prob <= 1.0:
+            raise FaultInjectionError(
+                f"corruption probability must be in [0, 1], "
+                f"got {self.corruption_prob}"
+            )
+
+
+@dataclass(frozen=True)
+class SlowGateDrift(Fault):
+    """Aging gates widen the switch latency without corrupting data.
+
+    ``extra_latency_ns`` applies for the whole active window;
+    ``drift_ns_per_ms`` adds a linear widening measured from the fault
+    start (gradual degradation).
+    """
+
+    extra_latency_ns: float = 0.0
+    drift_ns_per_ms: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.extra_latency_ns < 0 or self.drift_ns_per_ms < 0:
+            raise FaultInjectionError("gate drift terms must be non-negative")
+
+    def extra_at(self, now: float) -> float:
+        """Latency widening (ns) this fault contributes at time ``now``."""
+        if not self.active(now):
+            return 0.0
+        elapsed_ms = (now - self.start_ns) / 1e6
+        return self.extra_latency_ns + self.drift_ns_per_ms * elapsed_ms
+
+
+def degraded_link_from_jitter(
+    switch_id: int,
+    jitter_variance_ps2: float,
+    packet_bits: int = C.PACKET_SIZE_BYTES * 8,
+    start_ns: float = 0.0,
+    end_ns: float = math.inf,
+) -> DegradedLink:
+    """A :class:`DegradedLink` whose corruption probability follows the
+    Sec. IV-F jitter error model.
+
+    ``jitter_variance_ps2`` is the (degraded) per-element timing-jitter
+    variance; the per-bit decode error probability comes from
+    :func:`repro.tl.reliability.error_probability` at the paper's 0.42T
+    margin, and a packet is corrupted when any of its bits is
+    (``1 - (1 - p_bit) ** packet_bits``).  The healthy variance of 1.53
+    ps^2 yields a negligible ~1e-9 per bit; a jitter fault is modelled by
+    inflating the variance.
+    """
+    from repro.tl.reliability import error_probability
+
+    if jitter_variance_ps2 <= 0:
+        raise FaultInjectionError(
+            f"jitter variance must be positive, got {jitter_variance_ps2}"
+        )
+    if packet_bits < 1:
+        raise FaultInjectionError("packet_bits must be >= 1")
+    p_bit = error_probability(jitter_variance_ps2=jitter_variance_ps2)
+    p_packet = 1.0 - (1.0 - p_bit) ** packet_bits
+    return DegradedLink(
+        switch_id,
+        start_ns=start_ns,
+        end_ns=end_ns,
+        corruption_prob=p_packet,
+    )

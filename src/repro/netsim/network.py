@@ -10,14 +10,27 @@ Every network exposes the same API:
 
 Open-loop experiments pre-schedule all messages; closed-loop experiments
 submit from inside the hook.
+
+The base class also owns two cross-cutting resilience facilities used by
+:mod:`repro.faults`:
+
+* a **packet ledger** -- every submitted data packet is tracked until it is
+  delivered, terminally dropped, or given up; :meth:`NetworkSimulator.audit`
+  checks the conservation invariant ``injected = delivered + terminal_drops
+  + given_up + in_flight`` after every run and raises
+  :class:`~repro.errors.InvariantViolationError` on a leak;
+* **fault attachment** -- :meth:`NetworkSimulator.attach_faults` installs a
+  :class:`~repro.faults.FaultInjector` and wires its fail-stop/corruption/
+  slow-gate checks into every switch the network exposes via
+  :meth:`NetworkSimulator.iter_switches`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro import constants as C
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantViolationError
 from repro.netsim.packet import Packet
 from repro.netsim.stats import LatencyStats
 from repro.sim import Environment
@@ -36,6 +49,9 @@ class NetworkSimulator:
         self.stats = LatencyStats()
         self.receive_hook: Optional[Callable[[Packet, float], None]] = None
         self._next_pid = 0
+        self.fault_injector = None
+        # Conservation ledger: pids of data packets whose fate is still open.
+        self._outstanding: Set[int] = set()
 
     # -- message injection ------------------------------------------------------
 
@@ -60,6 +76,7 @@ class NetworkSimulator:
             create_time=time,
         )
         self.stats.record_injection()
+        self._outstanding.add(packet.pid)
         if time < self.env.now:
             raise ConfigurationError(
                 f"cannot submit in the past: t={time} < now={self.env.now}"
@@ -83,17 +100,97 @@ class NetworkSimulator:
     def _inject(self, packet: Packet) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    # -- delivery ---------------------------------------------------------------
+    # -- delivery and the conservation ledger -----------------------------------
 
     def _on_delivered(self, packet: Packet, time: float) -> None:
         """Record the delivery and fire the closed-loop hook."""
+        self._resolve(packet, "delivered")
         self.stats.record_delivery(time - packet.create_time)
         if self.receive_hook is not None:
             self.receive_hook(packet, time)
 
+    def _record_terminal_drop(self, packet: Packet) -> None:
+        """A data packet was lost for good (no retransmission will follow)."""
+        self._resolve(packet, "terminally dropped")
+        self.stats.record_terminal_drop()
+
+    def _record_give_up(self, packet: Packet) -> None:
+        """A data packet was abandoned undelivered after max retries."""
+        self._resolve(packet, "given up")
+        self.stats.record_give_up()
+
+    def _resolve(self, packet: Packet, outcome: str) -> None:
+        try:
+            self._outstanding.remove(packet.pid)
+        except KeyError:
+            raise InvariantViolationError(
+                f"packet {packet.pid} ({packet.src}->{packet.dst}) "
+                f"{outcome} but it was already resolved or never submitted"
+            ) from None
+
+    def audit(self) -> Dict[str, int]:
+        """Check the packet-conservation invariant and return the ledger.
+
+        ``injected = delivered + terminal_drops + given_up + in_flight``
+        must hold at any instant (in-flight packets are the still-open
+        ledger entries: queued, streaming, or awaiting a retransmission
+        timeout).  Raises :class:`InvariantViolationError` on a leak.
+        """
+        self.stats.in_flight = len(self._outstanding)
+        ledger = self.stats.conservation()
+        if ledger["balance"] != 0:
+            raise InvariantViolationError(
+                f"packet conservation violated ({type(self).__name__}): "
+                + ", ".join(f"{k}={v}" for k, v in ledger.items())
+            )
+        return ledger
+
+    # -- fault injection ---------------------------------------------------------
+
+    def iter_switches(self) -> Iterable:
+        """The switch objects faults can attach to (overridden by the
+        electrical networks; Baldur consults the injector directly)."""
+        return ()
+
+    def switch_ids(self) -> List[int]:
+        """Flat ids of every switch that can be failed in this network."""
+        return [switch.sid for switch in self.iter_switches()]
+
+    def attach_faults(self, injector) -> None:
+        """Install a :class:`~repro.faults.FaultInjector` on this network."""
+        self.fault_injector = injector
+        self._install_faults()
+
+    def _install_faults(self) -> None:
+        for switch in self.iter_switches():
+            switch.fault_hook = self._switch_fault_check
+            switch.extra_latency_fn = self._switch_extra_latency
+            switch.drop_fn = self._switch_fault_drop
+
+    def _switch_fault_check(self, switch, packet: Packet) -> bool:
+        injector = self.fault_injector
+        return injector is not None and injector.check_drop(
+            switch.sid, self.env.now
+        )
+
+    def _switch_extra_latency(self, switch) -> float:
+        injector = self.fault_injector
+        if injector is None:
+            return 0.0
+        return injector.extra_latency_ns(switch.sid, self.env.now)
+
+    def _switch_fault_drop(self, packet: Packet) -> None:
+        """A buffered electrical switch discarded a packet due to a fault:
+        there is no retransmission layer, so the loss is terminal."""
+        self.stats.record_drop(is_ack=packet.is_ack)
+        if not packet.is_ack:
+            self._record_terminal_drop(packet)
+
     # -- execution ----------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> LatencyStats:
-        """Run to completion (or to ``until`` ns) and return the stats."""
+        """Run to completion (or to ``until`` ns), audit packet
+        conservation, and return the stats."""
         self.env.run(until=until)
+        self.audit()
         return self.stats

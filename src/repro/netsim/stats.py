@@ -23,6 +23,9 @@ class LatencyStats:
         self.drops = 0
         self.retransmissions = 0
         self.ack_drops = 0
+        self.terminal_drops = 0
+        self.given_up = 0
+        self.in_flight = 0
 
     def record_injection(self) -> None:
         """Count one first-attempt packet injection."""
@@ -45,6 +48,16 @@ class LatencyStats:
     def record_retransmission(self) -> None:
         """Count one retransmission attempt."""
         self.retransmissions += 1
+
+    def record_terminal_drop(self) -> None:
+        """Count one data packet lost in-network for good (no retransmission
+        path exists: retransmission disabled, an in-network filter, or a
+        fail-stop/corruption fault in a lossless electrical network)."""
+        self.terminal_drops += 1
+
+    def record_give_up(self) -> None:
+        """Count one undelivered data packet abandoned after max retries."""
+        self.given_up += 1
 
     @property
     def average_latency(self) -> float:
@@ -83,6 +96,32 @@ class LatencyStats:
             return float("nan")
         return self.delivered / self.injected
 
+    @property
+    def accounted(self) -> int:
+        """Packets whose fate is known: delivered, terminally dropped,
+        given up, or still in flight (``in_flight`` is refreshed by
+        :meth:`~repro.netsim.network.NetworkSimulator.audit`)."""
+        return (
+            self.delivered + self.terminal_drops + self.given_up
+            + self.in_flight
+        )
+
+    def conservation(self) -> Dict[str, int]:
+        """The packet-conservation ledger (Sec. IV-E accounting).
+
+        ``injected = delivered + terminal_drops + given_up + in_flight``
+        must hold at every instant; ``balance`` is the discrepancy (zero
+        for a leak-free run).
+        """
+        return {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "terminal_drops": self.terminal_drops,
+            "given_up": self.given_up,
+            "in_flight": self.in_flight,
+            "balance": self.injected - self.accounted,
+        }
+
     def summary(self) -> Dict[str, float]:
         """A dict of the headline metrics."""
         return {
@@ -92,6 +131,7 @@ class LatencyStats:
             "tail_latency_ns": self.tail_latency,
             "drop_rate": self.drop_rate,
             "retransmissions": self.retransmissions,
+            "given_up": self.given_up,
         }
 
 

@@ -182,7 +182,17 @@ class Switch:
     the network that builds the switch.
     """
 
-    __slots__ = ("env", "sid", "latency_ns", "ports", "route_fn", "meta")
+    __slots__ = (
+        "env",
+        "sid",
+        "latency_ns",
+        "ports",
+        "route_fn",
+        "meta",
+        "fault_hook",
+        "extra_latency_fn",
+        "drop_fn",
+    )
 
     def __init__(
         self,
@@ -198,6 +208,13 @@ class Switch:
             Callable[["Switch", Packet], Tuple[int, int]]
         ] = None
         self.meta: dict = {}
+        # Fault-injection hooks (installed by NetworkSimulator.attach_faults):
+        # fault_hook(switch, packet) -> True drops the packet at this switch,
+        # extra_latency_fn(switch) widens the pipeline latency (slow-gate
+        # drift), drop_fn(packet) reports the terminal loss to the network.
+        self.fault_hook: Optional[Callable[["Switch", Packet], bool]] = None
+        self.extra_latency_fn: Optional[Callable[["Switch"], float]] = None
+        self.drop_fn: Optional[Callable[[Packet], None]] = None
 
     def add_port(self, rate_gbps: float, link_delay_ns: float) -> OutputPort:
         """Create and register a new output port."""
@@ -208,11 +225,22 @@ class Switch:
     def on_head_arrival(self, packet: Packet, in_buffer: VCBuffer) -> None:
         """A packet header has arrived; route it after the pipeline delay."""
         packet.hops += 1
+        latency = self.latency_ns
+        if self.extra_latency_fn is not None:
+            latency += self.extra_latency_fn(self)
         self.env.schedule(
-            self.latency_ns, self._route_and_enqueue, packet, in_buffer
+            latency, self._route_and_enqueue, packet, in_buffer
         )
 
     def _route_and_enqueue(self, packet: Packet, in_buffer: VCBuffer) -> None:
+        if self.fault_hook is not None and self.fault_hook(self, packet):
+            # Fail-stop or corruption fault: discard the packet and free its
+            # input-buffer hold so upstream credit is not leaked.
+            if in_buffer is not None:
+                in_buffer.release(packet.vc, packet.size_bytes, self.env.now)
+            if self.drop_fn is not None:
+                self.drop_fn(packet)
+            return
         if self.route_fn is None:
             raise ConfigurationError(f"switch {self.sid} has no routing")
         port_idx, next_vc = self.route_fn(self, packet)

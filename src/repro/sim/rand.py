@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Optional
 
 import numpy as np
 

@@ -34,6 +34,7 @@ __all__ = [
     "monte_carlo_error_rate",
     "ERROR_SCENARIOS",
     "diagnose_faulty_switch",
+    "diagnose_faulty_switches",
 ]
 
 # Active re-timing elements a routing bit's edges traverse inside one switch
@@ -151,6 +152,59 @@ def diagnose_faulty_switch(
         if obs.delivered:
             candidates -= set(obs.path)
     return sorted(candidates)
+
+
+def diagnose_faulty_switches(
+    observations: Sequence[_Observation],
+) -> List[int]:
+    """Isolate *multiple* concurrent faulty switches (group testing).
+
+    A probe is lost iff its path crosses at least one faulty switch, so
+    single-fault path intersection (:func:`diagnose_faulty_switch`) breaks
+    down with two or more faults: lost paths through *different* faults may
+    share no switch at all.  Instead we iterate isolate-and-mask:
+
+    1. every switch on a delivered path is cleared;
+    2. each lost probe yields a *suspect set* (its path minus cleared
+       switches);
+    3. any singleton suspect set confirms its switch as faulty;
+    4. suspect sets containing a confirmed switch are explained and
+       masked out; repeat from 3 until nothing changes.
+
+    Returns the confirmed switches plus any remaining ambiguous suspects
+    (sorted).  With observations drawn from several deterministic path
+    families (different test ports), the ambiguous set converges to
+    empty and the result is exactly the faulty switches.
+    """
+    cleared: set = set()
+    for obs in observations:
+        if obs.delivered:
+            cleared |= set(obs.path)
+    suspect_sets = [
+        set(obs.path) - cleared
+        for obs in observations
+        if not obs.delivered
+    ]
+    # Drop inconsistent observations (a lost probe fully covered by
+    # delivered paths can only be congestion, not a deterministic fault).
+    suspect_sets = [s for s in suspect_sets if s]
+    confirmed: set = set()
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        for suspects in suspect_sets:
+            if suspects & confirmed:
+                changed = True  # explained by a confirmed fault: mask it
+                continue
+            if len(suspects) == 1:
+                confirmed |= suspects
+                changed = True
+                continue
+            remaining.append(suspects)
+        suspect_sets = remaining
+    ambiguous = set().union(*suspect_sets) if suspect_sets else set()
+    return sorted(confirmed | ambiguous)
 
 
 def make_observation(path: Sequence[int], delivered: bool) -> _Observation:

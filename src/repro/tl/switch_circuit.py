@@ -23,7 +23,7 @@ with multiplicity 1-5 (Table V) used by the architecture-level simulators.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro import constants as C
 from repro.errors import ConfigurationError

@@ -29,12 +29,11 @@ amplifies through the dependency chain as it does in a real MPI replay.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.netsim.network import NetworkSimulator
 from repro.netsim.stats import LatencyStats
-from repro.sim.rand import stream
 
 __all__ = [
     "amg_trace",

@@ -12,7 +12,7 @@ per-packet latency the dominant performance factor (Sec. V-B).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro import constants as C
 from repro.errors import ConfigurationError

@@ -1,7 +1,5 @@
 """Tests for the experiment drivers and table formatting."""
 
-import math
-
 import pytest
 
 from repro.analysis import (

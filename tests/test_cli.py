@@ -14,7 +14,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "drop-model", "packaging", "awgr", "diagnose",
+            "drop-model", "packaging", "awgr", "diagnose", "resilience",
         }
 
     def test_requires_subcommand(self):
@@ -75,6 +75,23 @@ class TestCommands:
     def test_fig7_tiny(self, capsys):
         assert main(["fig7", "--nodes", "16", "--packets", "3"]) == 0
         assert "ping_pong1" in capsys.readouterr().out
+
+    def test_resilience_small(self, capsys):
+        assert main([
+            "resilience", "--nodes", "16", "--packets", "3",
+            "--failures", "0", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Resilience sweep" in out
+        assert "Degraded mode" in out
+        assert "unmasked" in out and "masked" in out
+
+    def test_resilience_chaos(self, capsys):
+        assert main([
+            "resilience", "--nodes", "16", "--packets", "3",
+            "--failures", "1", "--mtbf", "200000", "--mttr", "50000",
+        ]) == 0
+        assert "chaos" in capsys.readouterr().out
 
     def test_fig6_multi_load_renders_ascii_plot(self, capsys):
         assert main([

@@ -4,8 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -54,6 +52,14 @@ def test_worst_case_traffic():
     out = run_example("worst_case_traffic.py", timeout=500)
     assert "required m" in out
     assert "transpose" in out
+
+
+def test_resilience_demo():
+    out = run_example("resilience_demo.py", timeout=500)
+    assert "conservation" in out
+    assert "Diagnosis of two concurrent faults" in out
+    assert "Degraded mode" in out
+    assert "unmasked" in out and "masked" in out
 
 
 def test_technology_scaling():

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import constants as C
 from repro.errors import ConfigurationError
 from repro.netsim import LatencyStats, Packet, VCBuffer, geomean
 from repro.netsim.switch import Host, OutputPort, Switch

@@ -1,0 +1,423 @@
+"""Tests for the fault-injection & resilience subsystem (repro.faults)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.resilience import (
+    degraded_mode_comparison,
+    resilience_sweep,
+    run_with_failures,
+)
+from repro.core import BaldurNetwork
+from repro.core.diagnosis import run_diagnosis
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectionError,
+    InvariantViolationError,
+)
+from repro.faults import (
+    ChaosSchedule,
+    DegradedLink,
+    FailStop,
+    FaultInjector,
+    SlowGateDrift,
+    audit_conservation,
+    degraded_link_from_jitter,
+)
+from repro.traffic import inject_open_loop, random_permutation, transpose
+
+
+class TestFaultModels:
+    def test_permanent_by_default(self):
+        fault = FailStop(3)
+        assert fault.active(0.0) and fault.active(1e12)
+        assert not fault.transient
+
+    def test_transient_window(self):
+        fault = FailStop(3, start_ns=100.0, end_ns=200.0)
+        assert fault.transient
+        assert not fault.active(99.9)
+        assert fault.active(100.0) and fault.active(199.9)
+        assert not fault.active(200.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(switch_id=-1),
+        dict(switch_id=0, start_ns=-1.0),
+        dict(switch_id=0, start_ns=5.0, end_ns=5.0),
+        dict(switch_id=0, start_ns=5.0, end_ns=4.0),
+    ])
+    def test_invalid_windows_rejected(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            FailStop(**kwargs)
+
+    def test_corruption_prob_validated(self):
+        with pytest.raises(FaultInjectionError):
+            DegradedLink(0, corruption_prob=1.5)
+        with pytest.raises(FaultInjectionError):
+            DegradedLink(0, corruption_prob=-0.1)
+
+    def test_slow_gate_drift_grows(self):
+        fault = SlowGateDrift(
+            0, start_ns=0.0, extra_latency_ns=2.0, drift_ns_per_ms=1.0
+        )
+        assert fault.extra_at(0.0) == pytest.approx(2.0)
+        assert fault.extra_at(1e6) == pytest.approx(3.0)  # +1 ns after 1 ms
+        with pytest.raises(FaultInjectionError):
+            SlowGateDrift(0, extra_latency_ns=-1.0)
+
+    def test_degraded_link_from_jitter(self):
+        # Healthy variance: negligible corruption.
+        healthy = degraded_link_from_jitter(0, jitter_variance_ps2=1.53)
+        assert healthy.corruption_prob < 1e-4
+        # Badly degraded jitter: near-certain corruption per packet.
+        broken = degraded_link_from_jitter(0, jitter_variance_ps2=100.0)
+        assert broken.corruption_prob > 0.99
+        with pytest.raises(FaultInjectionError):
+            degraded_link_from_jitter(0, jitter_variance_ps2=0.0)
+
+
+class TestFaultInjector:
+    def test_fail_stop_drops_deterministically(self):
+        inj = FaultInjector([FailStop(7)])
+        assert inj.failed(7, 0.0)
+        assert inj.check_drop(7, 0.0)
+        assert not inj.check_drop(8, 0.0)
+        assert inj.drops_by_switch == {7: 1}
+
+    def test_window_respected(self):
+        inj = FaultInjector([FailStop(7, start_ns=10.0, end_ns=20.0)])
+        assert not inj.check_drop(7, 5.0)
+        assert inj.check_drop(7, 15.0)
+        assert not inj.check_drop(7, 25.0)
+
+    def test_corruption_probabilities_compose(self):
+        inj = FaultInjector([
+            DegradedLink(2, corruption_prob=0.5),
+            DegradedLink(2, corruption_prob=0.5),
+        ])
+        assert inj.corruption_prob(2, 0.0) == pytest.approx(0.75)
+
+    def test_corruption_draws_are_seeded(self):
+        def draws(seed):
+            inj = FaultInjector(
+                [DegradedLink(0, corruption_prob=0.5)], seed=seed
+            )
+            return [inj.check_drop(0, 0.0) for _ in range(50)]
+
+        assert draws(1) == draws(1)
+        assert draws(1) != draws(2)
+
+    def test_extra_latency_sums_drift_faults(self):
+        inj = FaultInjector([
+            SlowGateDrift(4, extra_latency_ns=1.0),
+            SlowGateDrift(4, extra_latency_ns=2.5),
+        ])
+        assert inj.extra_latency_ns(4, 0.0) == pytest.approx(3.5)
+        assert inj.extra_latency_ns(5, 0.0) == 0.0
+
+    def test_rejects_non_fault(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(["not a fault"])
+
+
+class TestChaosSchedule:
+    def test_deterministic_per_seed(self):
+        chaos = ChaosSchedule(
+            mtbf_ns=1e5, mttr_ns=2e4, horizon_ns=1e6, seed=7
+        )
+        assert chaos.faults_for([0, 1, 2]) == chaos.faults_for([0, 1, 2])
+        other = ChaosSchedule(
+            mtbf_ns=1e5, mttr_ns=2e4, horizon_ns=1e6, seed=8
+        )
+        assert chaos.faults_for([0]) != other.faults_for([0])
+
+    def test_per_switch_streams_independent(self):
+        chaos = ChaosSchedule(
+            mtbf_ns=1e5, mttr_ns=2e4, horizon_ns=1e6, seed=7
+        )
+        # Switch 1's timeline does not depend on who else participates.
+        alone = [f for f in chaos.faults_for([1])]
+        grouped = [
+            f for f in chaos.faults_for([0, 1, 2]) if f.switch_id == 1
+        ]
+        assert alone == grouped
+
+    def test_windows_are_transient_and_inside_horizon(self):
+        chaos = ChaosSchedule(
+            mtbf_ns=5e4, mttr_ns=1e4, horizon_ns=1e6, seed=0
+        )
+        faults = chaos.faults_for(range(8))
+        assert faults, "expect some failures over 20 MTBFs"
+        for fault in faults:
+            assert fault.transient
+            assert 0.0 <= fault.start_ns < 1e6
+            assert fault.end_ns > fault.start_ns
+
+    def test_availability(self):
+        chaos = ChaosSchedule(
+            mtbf_ns=9e5, mttr_ns=1e5, horizon_ns=1e6
+        )
+        assert chaos.availability == pytest.approx(0.9)
+
+    def test_degraded_kind(self):
+        chaos = ChaosSchedule(
+            mtbf_ns=5e4, mttr_ns=1e4, horizon_ns=1e6,
+            kind="degraded", corruption_prob=0.25,
+        )
+        faults = chaos.faults_for([0])
+        assert faults and all(
+            isinstance(f, DegradedLink) and f.corruption_prob == 0.25
+            for f in faults
+        )
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mtbf_ns=0.0, mttr_ns=1.0, horizon_ns=1.0),
+        dict(mtbf_ns=1.0, mttr_ns=0.0, horizon_ns=1.0),
+        dict(mtbf_ns=1.0, mttr_ns=1.0, horizon_ns=0.0),
+        dict(mtbf_ns=1.0, mttr_ns=1.0, horizon_ns=1.0, kind="meteor"),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            ChaosSchedule(**kwargs)
+
+
+NETWORK_SIZES = {
+    "baldur": 16,
+    "multibutterfly": 16,
+    "dragonfly": 32,
+    "fattree": 16,
+    "ideal": 16,
+}
+
+
+class TestConservationProperty:
+    @given(
+        seed=st.integers(0, 10_000),
+        load=st.floats(0.1, 0.9),
+        k=st.integers(0, 2),
+        pattern=st.sampled_from(["random_permutation", "transpose"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_all_networks_conserve_packets(self, seed, load, k, pattern):
+        from repro.analysis.experiments import build_network
+
+        for name, n in NETWORK_SIZES.items():
+            net = build_network(name, n, seed)
+            failed = list(net.switch_ids())[:k]
+            if failed:
+                net.attach_faults(
+                    FaultInjector([FailStop(sid) for sid in failed],
+                                  seed=seed)
+                )
+            if pattern == "transpose":
+                destinations = transpose(n)
+            else:
+                destinations = random_permutation(n, seed)
+            inject_open_loop(net, destinations, load, 3, seed=seed)
+            net.run()
+            ledger = audit_conservation(net)  # raises on violation
+            assert ledger["balance"] == 0, (name, ledger)
+            # transpose has fixed points that inject nothing
+            assert 0 < ledger["injected"] <= 3 * n
+
+    def test_audit_raises_on_tampered_ledger(self):
+        net = BaldurNetwork(16, multiplicity=2, seed=0)
+        inject_open_loop(net, random_permutation(16, 0), 0.3, 2, seed=0)
+        net.run()
+        net.stats.injected += 1  # simulate a leak
+        with pytest.raises(InvariantViolationError):
+            net.audit()
+
+
+class TestRetransmissionHardening:
+    def test_give_up_then_late_delivery_counts_once(self):
+        # Regression for the retransmission race: with a timeout shorter
+        # than the network flight time and a single attempt, the source
+        # gives the packet up while it is still in flight.  At-most-once
+        # delivery requires the late copy to be suppressed -- the packet
+        # must not be counted both given-up and delivered.
+        net = BaldurNetwork(
+            16, multiplicity=2, seed=0, timeout_ns=50.0, max_attempts=1
+        )
+        net.submit(0, 9, time=0.0)
+        stats = net.run()
+        ledger = net.audit()
+        assert ledger["balance"] == 0
+        assert stats.delivered + stats.given_up == 1
+        assert stats.given_up == 1 and stats.delivered == 0
+        assert net.unreachable == {(0, 9): 1}
+        assert net.lost_packets == 1
+
+    def test_give_up_reports_unreachable_flows(self):
+        net = BaldurNetwork(
+            16, multiplicity=2, seed=0, timeout_ns=10.0, max_attempts=2
+        )
+        for i in range(3):
+            net.submit(1, 6, time=i * 5_000.0)
+        net.run()
+        net.audit()
+        assert net.unreachable.get((1, 6)) == 3
+
+    def test_ack_loss_does_not_double_deliver(self):
+        # Filter every ACK: data packets arrive once, the source keeps
+        # retransmitting and finally gives up, but at-most-once delivery
+        # means the destination records exactly one delivery per packet.
+        net = BaldurNetwork(
+            16,
+            multiplicity=2,
+            seed=0,
+            max_attempts=3,
+            packet_filter=lambda p: p.is_ack,
+        )
+        for i in range(4):
+            net.submit(i, (i + 5) % 16, time=i * 200.0)
+        stats = net.run()
+        ledger = net.audit()
+        assert ledger["balance"] == 0
+        assert stats.delivered == 4  # each packet delivered exactly once
+        assert stats.given_up == 0   # delivered, so not conservation-lost
+        assert net.lost_packets == 4  # but the sources never learned it
+
+    def test_normal_run_has_no_give_ups(self):
+        net = BaldurNetwork(16, multiplicity=4, seed=0)
+        inject_open_loop(net, random_permutation(16, 0), 0.5, 5, seed=0)
+        stats = net.run()
+        assert stats.given_up == 0
+        assert net.unreachable == {}
+        assert stats.delivered == stats.injected
+
+
+class TestDegradedMode:
+    def test_masking_strictly_lowers_drop_rate(self):
+        cmp = degraded_mode_comparison(
+            n_nodes=32, packets_per_node=10, seed=0
+        )
+        assert cmp["masked"]["drop_rate"] < cmp["unmasked"]["drop_rate"]
+        assert cmp["masked"]["delivered"] == cmp["masked"]["injected"]
+
+    def test_mask_validation_and_unmask(self):
+        net = BaldurNetwork(16, multiplicity=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            net.mask_switch(99, 0)
+        net.mask_switch(1, 2)
+        assert (1, 2) in net.masked_switches
+        net.unmask_switch(1, 2)
+        assert net.masked_switches == set()
+
+    def test_masked_faulty_switch_sees_no_traffic(self):
+        net = BaldurNetwork(32, multiplicity=4, seed=0)
+        net.inject_fault(1, 3)
+        net.mask_switch(1, 3)
+        net.record_paths = True
+        inject_open_loop(net, random_permutation(32, 0), 0.3, 5, seed=0)
+        net.run()
+        flat = net.flat_switch_id(1, 3)
+        for path in net.paths.values():
+            assert flat not in path
+
+
+class TestResilienceDrivers:
+    def test_run_with_failures_row_shape(self):
+        row = run_with_failures("baldur", 16, 1, packets_per_node=3)
+        assert row["network"] == "baldur"
+        assert row["k_failed"] == 1 and len(row["failed_switches"]) == 1
+        assert row["balance"] == 0
+
+    def test_sweep_covers_grid(self):
+        rows = resilience_sweep(
+            n_nodes=16, failure_counts=(0, 1),
+            networks=("baldur", "ideal"), packets_per_node=2,
+        )
+        assert len(rows) == 4
+        assert all(r["balance"] == 0 for r in rows)
+        # The ideal network has no switches to fail.
+        assert all(
+            r["k_failed"] == 0 for r in rows if r["network"] == "ideal"
+        )
+
+    def test_chaos_schedule_applies(self):
+        chaos = ChaosSchedule(
+            mtbf_ns=50_000.0, mttr_ns=50_000.0, horizon_ns=1e6, seed=0
+        )
+        row = run_with_failures(
+            "baldur", 16, 2, packets_per_node=5, chaos=chaos
+        )
+        assert row["balance"] == 0
+
+    def test_more_failures_never_help_baldur(self):
+        rows = {
+            r["k_failed"]: r
+            for r in resilience_sweep(
+                n_nodes=16, failure_counts=(0, 4),
+                networks=("baldur",), packets_per_node=5, load=0.5,
+            )
+        }
+        assert rows[0]["drop_rate"] == 0.0
+        assert rows[4]["drop_rate"] > 0.0
+
+
+class TestMultiFaultDiagnosis:
+    def test_zero_faults_reports_clean(self):
+        report = run_diagnosis(16, [], multiplicity=4, n_probes=16)
+        assert report["candidates"] == []
+        assert report["injected_flat_ids"] == []
+        assert report["isolated"]
+        assert report["probes_lost"] == 0
+        assert "injected_flat_id" not in report
+
+    def test_single_fault_back_compat(self):
+        report = run_diagnosis(16, (1, 3), multiplicity=4, n_probes=64)
+        assert report["isolated"]
+        assert report["injected_flat_id"] == report["injected_flat_ids"][0]
+
+    def test_two_faults_isolated(self):
+        report = run_diagnosis(
+            16, [(1, 2), (2, 5)], multiplicity=4, n_probes=64
+        )
+        assert report["isolated"]
+        assert len(report["injected_flat_ids"]) == 2
+
+    def test_malformed_fault_specs_rejected(self):
+        for bad in [(1,), (1, 2, 3), [(1, "a")], 5, [((0,), 1)]]:
+            with pytest.raises(ConfigurationError):
+                run_diagnosis(16, bad, n_probes=4)
+
+
+class TestLedgerExposure:
+    def test_conservation_dict_keys(self):
+        net = BaldurNetwork(16, multiplicity=2, seed=0)
+        net.submit(0, 5, time=0.0)
+        net.run()
+        ledger = net.stats.conservation()
+        assert ledger == {
+            "injected": 1, "delivered": 1, "terminal_drops": 0,
+            "given_up": 0, "in_flight": 0, "balance": 0,
+        }
+        assert "given_up" in net.stats.summary()
+
+    def test_in_flight_counts_unfinished_packets(self):
+        net = BaldurNetwork(16, multiplicity=2, seed=0)
+        net.submit(0, 5, time=0.0)
+        net.env.run(until=1.0)  # stop mid-flight
+        ledger = net.audit()
+        assert ledger["in_flight"] == 1 and ledger["balance"] == 0
+
+    def test_format_ledger(self):
+        from repro.faults import format_ledger
+
+        net = BaldurNetwork(16, multiplicity=2, seed=0)
+        net.submit(0, 5, time=0.0)
+        net.run()
+        text = format_ledger(net.audit())
+        assert "injected" in text and "delivered" in text
+
+
+def test_degraded_link_transient_matches_math():
+    fault = DegradedLink(0, start_ns=10.0, end_ns=20.0, corruption_prob=0.5)
+    inj = FaultInjector([fault])
+    assert inj.corruption_prob(0, 15.0) == pytest.approx(0.5)
+    assert inj.corruption_prob(0, 25.0) == 0.0
+    assert math.isinf(FailStop(0).end_ns)
