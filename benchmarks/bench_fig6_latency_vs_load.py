@@ -10,10 +10,11 @@ Benches run at a reduced scale (shape-preserving); set REPRO_BENCH_NODES /
 REPRO_BENCH_PACKETS for fuller runs.
 """
 
-from conftest import emit
+from conftest import emit, emit_sweep_report
 
-from repro.analysis.experiments import figure6
+from repro.analysis.experiments import figure6_spec, reshape_figure6
 from repro.analysis.tables import format_latency_grid
+from repro.runner import run_sweep
 
 PATTERNS = (
     "random_permutation",
@@ -24,18 +25,23 @@ PATTERNS = (
 LOADS = (0.3, 0.7, 0.9)
 
 
-def test_fig6_latency_vs_load(benchmark, bench_nodes, bench_packets):
-    results = benchmark.pedantic(
-        figure6,
-        kwargs=dict(
-            n_nodes=bench_nodes,
-            loads=LOADS,
-            patterns=PATTERNS,
-            packets_per_node=bench_packets,
-        ),
+def test_fig6_latency_vs_load(benchmark, bench_nodes, bench_packets,
+                              bench_jobs, bench_cache_dir):
+    spec = figure6_spec(
+        n_nodes=bench_nodes,
+        loads=LOADS,
+        patterns=PATTERNS,
+        packets_per_node=bench_packets,
+    )
+    sweep = benchmark.pedantic(
+        run_sweep,
+        args=(spec,),
+        kwargs=dict(jobs=bench_jobs, cache_dir=bench_cache_dir),
         rounds=1,
         iterations=1,
     )
+    emit_sweep_report(sweep)
+    results = reshape_figure6(sweep)
     blocks = []
     for pattern in PATTERNS:
         blocks.append(

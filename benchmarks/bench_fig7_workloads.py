@@ -6,11 +6,16 @@ all four HPC workloads (geomean 2.6X-9.1X better average); in FB,
 dragonfly/fat-tree are 23.5X/46.1X worse than Baldur.
 """
 
-from conftest import emit
+from conftest import emit, emit_sweep_report
 
-from repro.analysis.experiments import NETWORK_NAMES, figure7
+from repro.analysis.experiments import (
+    NETWORK_NAMES,
+    figure7_spec,
+    reshape_figure7,
+)
 from repro.analysis.tables import format_table
 from repro.netsim.stats import geomean
+from repro.runner import run_sweep
 
 WORKLOADS = (
     "hotspot", "ping_pong1", "ping_pong2",
@@ -18,17 +23,22 @@ WORKLOADS = (
 )
 
 
-def test_fig7_workloads(benchmark, bench_nodes, bench_packets):
-    results = benchmark.pedantic(
-        figure7,
-        kwargs=dict(
-            n_nodes=bench_nodes,
-            packets_per_node=bench_packets,
-            ping_pong_rounds=8,
-        ),
+def test_fig7_workloads(benchmark, bench_nodes, bench_packets,
+                        bench_jobs, bench_cache_dir):
+    spec = figure7_spec(
+        n_nodes=bench_nodes,
+        packets_per_node=bench_packets,
+        ping_pong_rounds=8,
+    )
+    sweep = benchmark.pedantic(
+        run_sweep,
+        args=(spec,),
+        kwargs=dict(jobs=bench_jobs, cache_dir=bench_cache_dir),
         rounds=1,
         iterations=1,
     )
+    emit_sweep_report(sweep)
+    results = reshape_figure7(sweep)
     rows = []
     ratios = {name: [] for name in NETWORK_NAMES if name != "baldur"}
     for workload in WORKLOADS:

@@ -5,19 +5,26 @@ still consumes 5.1X, 8.2X, and 14.7X less power than dragonfly, fat-tree,
 and eMB respectively.
 """
 
-from conftest import emit
+from conftest import emit, emit_sweep_report
 
+from repro.analysis.experiments import figure9_spec
 from repro.analysis.tables import format_table
-from repro.power.sensitivity import SENSITIVITY_CASES, sensitivity_ratios
+from repro.power.sensitivity import SENSITIVITY_CASES
+from repro.runner import run_sweep
 
 PAPER_PESSIMISTIC = {"dragonfly": 5.1, "fattree": 8.2, "multibutterfly": 14.7}
 
 
-def test_fig9_sensitivity(benchmark):
-    results = {
-        case: sensitivity_ratios(2**20, case) for case in SENSITIVITY_CASES
-    }
-    benchmark(sensitivity_ratios, 2**20, "pessimistic")
+def test_fig9_sensitivity(benchmark, bench_jobs, bench_cache_dir):
+    sweep = benchmark.pedantic(
+        run_sweep,
+        args=(figure9_spec(),),
+        kwargs=dict(jobs=bench_jobs, cache_dir=bench_cache_dir),
+        rounds=1,
+        iterations=1,
+    )
+    emit_sweep_report(sweep)
+    results = sweep.index("case")
     networks = ("dragonfly", "fattree", "multibutterfly")
     rows = [
         [case] + [results[case][n] for n in networks]

@@ -8,6 +8,10 @@ Override with environment variables for fuller runs:
 * ``REPRO_BENCH_NODES``   -- network size for packet-level benches
   (default 128; the paper uses 1024);
 * ``REPRO_BENCH_PACKETS`` -- packets per node (default 20; paper 10,000);
+* ``REPRO_BENCH_JOBS``    -- worker processes for sweep-backed benches
+  (default: ``$REPRO_JOBS`` or 1; results are identical at any value);
+* ``REPRO_BENCH_CACHE``   -- result-cache directory for sweep-backed
+  benches (default: cache disabled);
 * ``REPRO_BENCH_FULL=1``  -- also run the >1M-node drop-model case.
 """
 
@@ -33,9 +37,28 @@ def bench_packets() -> int:
 
 
 @pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Worker-process count for sweep-backed benches."""
+    return _env_int(
+        "REPRO_BENCH_JOBS", _env_int("REPRO_JOBS", 1)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_cache_dir():
+    """Result-cache directory for sweep-backed benches (None = off)."""
+    return os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+@pytest.fixture(scope="session")
 def bench_full() -> bool:
     """Whether to run the full-scale (1M-node) cases."""
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def emit_sweep_report(sweep) -> None:
+    """Print a sweep's execution report (observability for benches)."""
+    print(f"\n# sweep: {sweep.report.describe()}")
 
 
 def emit(title: str, body: str) -> None:

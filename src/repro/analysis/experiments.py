@@ -7,6 +7,15 @@ are scaled down (the latency/drop *shape* is stable well below the paper's
 packet budget -- the benches print both the configuration used and the
 paper's reference values).  Set ``n_nodes=1024, packets_per_node=10_000``
 to run the full-paper configuration.
+
+The figure/table drivers are thin layers over :mod:`repro.runner`: each
+builds a declarative :class:`~repro.runner.SweepSpec` (``figure6_spec``
+and friends, also used by the CLI and benches), runs it -- optionally in
+parallel and against the on-disk result cache -- and reshapes the flat
+job results into the nested structure the tables and plots consume.
+Cell RNG seeds are derived per job from the root ``seed`` and the cell's
+grid coordinates, so results are independent of worker count and of
+which other cells run alongside.
 """
 
 from __future__ import annotations
@@ -22,29 +31,32 @@ from repro.electrical import (
     MultiButterflyNetwork,
 )
 from repro.errors import ConfigurationError
-from repro.netsim.stats import LatencyStats
+from repro.netsim.stats import LatencyStats, StatsSummary
 from repro.traffic import (
-    HPC_WORKLOADS,
     bisection,
     group_permutation,
     hotspot,
     inject_open_loop,
-    ping_pong1_pairs,
-    ping_pong2_pairs,
     random_permutation,
-    replay_trace,
-    run_ping_pong,
     transpose,
 )
 
 __all__ = [
     "build_network",
     "NETWORK_NAMES",
+    "FIG7_WORKLOADS",
     "pattern_destinations",
     "run_open_loop",
     "figure6",
+    "figure6_spec",
+    "reshape_figure6",
     "figure7",
+    "figure7_spec",
+    "reshape_figure7",
     "table5",
+    "table5_spec",
+    "reshape_table5",
+    "figure9_spec",
 ]
 
 NETWORK_NAMES = ("baldur", "multibutterfly", "dragonfly", "fattree", "ideal")
@@ -105,35 +117,119 @@ def run_open_loop(
     return net.run(until=until)
 
 
-def figure6(
+FIG7_WORKLOADS = (
+    "hotspot", "ping_pong1", "ping_pong2",
+    "AMG", "CrystalRouter", "MultiGrid", "FB",
+)
+"""Fig. 7 column order: synthetic patterns then the four HPC traces."""
+
+FIG6_PATTERNS = (
+    "random_permutation",
+    "transpose",
+    "bisection",
+    "group_permutation",
+)
+"""Fig. 6 row order: the paper's four open-loop patterns."""
+
+
+def figure6_spec(
     n_nodes: int = 128,
     loads: Iterable[float] = (0.1, 0.4, 0.7, 0.9),
-    patterns: Iterable[str] = (
-        "random_permutation",
-        "transpose",
-        "bisection",
-        "group_permutation",
-    ),
+    patterns: Iterable[str] = FIG6_PATTERNS,
     packets_per_node: int = 20,
     networks: Iterable[str] = NETWORK_NAMES,
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
-) -> Dict[str, Dict[str, Dict[float, LatencyStats]]]:
+):
+    """The Fig. 6 grid as a declarative sweep spec."""
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        kind="open_loop",
+        axes={
+            "pattern": tuple(patterns),
+            "network": tuple(networks),
+            "load": tuple(loads),
+        },
+        fixed={
+            "n_nodes": n_nodes,
+            "packets_per_node": packets_per_node,
+            "until": until,
+        },
+        root_seed=seed,
+    )
+
+
+def reshape_figure6(sweep) -> Dict[str, Dict[str, Dict[float, StatsSummary]]]:
+    """``result[pattern][network][load] -> StatsSummary``."""
+    return sweep.index(
+        "pattern", "network", "load", value=StatsSummary.from_dict
+    )
+
+
+def figure6(
+    n_nodes: int = 128,
+    loads: Iterable[float] = (0.1, 0.4, 0.7, 0.9),
+    patterns: Iterable[str] = FIG6_PATTERNS,
+    packets_per_node: int = 20,
+    networks: Iterable[str] = NETWORK_NAMES,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress=None,
+) -> Dict[str, Dict[str, Dict[float, StatsSummary]]]:
     """Fig. 6: average/tail latency vs. input load, per pattern x network.
 
-    Returns ``result[pattern][network][load] -> LatencyStats``.
+    Returns ``result[pattern][network][load] -> StatsSummary``.  ``jobs``
+    parallelizes the grid across worker processes; ``cache_dir`` reuses
+    completed cells from the on-disk result cache.
     """
-    result: Dict[str, Dict[str, Dict[float, LatencyStats]]] = {}
-    for pattern in patterns:
-        result[pattern] = {}
-        for network in networks:
-            result[pattern][network] = {}
-            for load in loads:
-                result[pattern][network][load] = run_open_loop(
-                    network, n_nodes, pattern, load,
-                    packets_per_node, seed, until,
-                )
-    return result
+    from repro.runner import run_sweep
+
+    sweep = run_sweep(
+        figure6_spec(n_nodes, loads, patterns, packets_per_node,
+                     networks, seed, until),
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress,
+    )
+    return reshape_figure6(sweep)
+
+
+def figure7_spec(
+    n_nodes: int = 128,
+    packets_per_node: int = 20,
+    ping_pong_rounds: int = 10,
+    networks: Iterable[str] = NETWORK_NAMES,
+    workloads: Iterable[str] = FIG7_WORKLOADS,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+    hpc_kwargs: Optional[Dict[str, dict]] = None,
+):
+    """The Fig. 7 grid as a declarative sweep spec."""
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        kind="workload",
+        axes={
+            "workload": tuple(workloads),
+            "network": tuple(networks),
+        },
+        fixed={
+            "n_nodes": n_nodes,
+            "packets_per_node": packets_per_node,
+            "ping_pong_rounds": ping_pong_rounds,
+            "until": until,
+            "hpc_kwargs": hpc_kwargs or {},
+        },
+        root_seed=seed,
+    )
+
+
+def reshape_figure7(sweep) -> Dict[str, Dict[str, StatsSummary]]:
+    """``result[workload][network] -> StatsSummary``."""
+    return sweep.index("workload", "network", value=StatsSummary.from_dict)
 
 
 def figure7(
@@ -144,43 +240,54 @@ def figure7(
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
     hpc_kwargs: Optional[Dict[str, dict]] = None,
-) -> Dict[str, Dict[str, LatencyStats]]:
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress=None,
+) -> Dict[str, Dict[str, StatsSummary]]:
     """Fig. 7: hotspot, ping_pong1/2, and the four HPC workloads.
 
-    Returns ``result[workload][network] -> LatencyStats``.  Normalize
+    Returns ``result[workload][network] -> StatsSummary``.  Normalize
     against the 'ideal' column to obtain the paper's normalized plots.
     """
-    result: Dict[str, Dict[str, LatencyStats]] = {}
+    from repro.runner import run_sweep
 
-    result["hotspot"] = {
-        network: run_open_loop(
-            network, n_nodes, "hotspot", C.HEAVY_INPUT_LOAD,
-            max(2, packets_per_node // 4), seed, until,
-        )
-        for network in networks
-    }
+    sweep = run_sweep(
+        figure7_spec(n_nodes, packets_per_node, ping_pong_rounds,
+                     networks, FIG7_WORKLOADS, seed, until, hpc_kwargs),
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress,
+    )
+    return reshape_figure7(sweep)
 
-    for name, pairs_fn in (
-        ("ping_pong1", ping_pong1_pairs),
-        ("ping_pong2", ping_pong2_pairs),
-    ):
-        result[name] = {}
-        for network in networks:
-            net = build_network(network, n_nodes, seed)
-            pairs = pairs_fn(n_nodes, seed)
-            result[name][network] = run_ping_pong(
-                net, pairs, rounds=ping_pong_rounds, until=until
-            )
 
-    hpc_kwargs = hpc_kwargs or {}
-    for workload, trace_fn in HPC_WORKLOADS.items():
-        kwargs = hpc_kwargs.get(workload, {})
-        trace = trace_fn(n_nodes, seed=seed, **kwargs)
-        result[workload] = {}
-        for network in networks:
-            net = build_network(network, n_nodes, seed)
-            result[workload][network] = replay_trace(net, trace, until=until)
-    return result
+def table5_spec(
+    n_nodes: int = 256,
+    multiplicities: Iterable[int] = (1, 2, 3, 4, 5),
+    load: float = C.HEAVY_INPUT_LOAD,
+    packets_per_node: int = 30,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+):
+    """The Table V multiplicity sweep as a declarative spec."""
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        kind="table5",
+        axes={"multiplicity": tuple(multiplicities)},
+        fixed={
+            "n_nodes": n_nodes,
+            "load": load,
+            "packets_per_node": packets_per_node,
+            "until": until,
+        },
+        root_seed=seed,
+    )
+
+
+def reshape_table5(sweep) -> List[dict]:
+    """Table V rows in multiplicity order."""
+    return sweep.results()
 
 
 def table5(
@@ -190,29 +297,34 @@ def table5(
     packets_per_node: int = 30,
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress=None,
 ) -> List[dict]:
     """Table V: gates / switch latency / drop rate per multiplicity.
 
     Drop rates come from the detailed simulator under the transpose
     pattern at the given load, matching the Table V methodology.
     """
-    from repro.tl.switch_circuit import switch_model
+    from repro.runner import run_sweep
 
-    rows = []
-    destinations = transpose(n_nodes)
-    for m in multiplicities:
-        model = switch_model(m)
-        net = BaldurNetwork(n_nodes, multiplicity=m, seed=seed)
-        inject_open_loop(net, destinations, load, packets_per_node, seed=seed)
-        stats = net.run(until=until)
-        rows.append(
-            {
-                "multiplicity": m,
-                "gates_per_switch": model.gate_count,
-                "switch_latency_ns": model.latency_ns,
-                "drop_rate_pct": 100 * stats.drop_rate,
-                "paper_drop_rate_pct": C.PAPER_DROP_RATE_PCT.get(m),
-                "avg_latency_ns": stats.average_latency,
-            }
-        )
-    return rows
+    sweep = run_sweep(
+        table5_spec(n_nodes, multiplicities, load, packets_per_node,
+                    seed, until),
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress,
+    )
+    return reshape_table5(sweep)
+
+
+def figure9_spec(scale: int = 2**20, cases: Optional[Iterable[str]] = None):
+    """The Fig. 9 switch-power sensitivity sweep as a declarative spec."""
+    from repro.power.sensitivity import SENSITIVITY_CASES
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        kind="sensitivity",
+        axes={"case": tuple(cases if cases is not None else SENSITIVITY_CASES)},
+        fixed={"scale": scale},
+    )

@@ -37,6 +37,7 @@ from repro.traffic import inject_open_loop, random_permutation
 
 __all__ = [
     "run_with_failures",
+    "resilience_spec",
     "resilience_sweep",
     "degraded_mode_comparison",
 ]
@@ -100,6 +101,42 @@ def run_with_failures(
     }
 
 
+def resilience_spec(
+    n_nodes: int = 64,
+    failure_counts: Iterable[int] = (0, 1, 2, 4),
+    networks: Iterable[str] = NETWORK_NAMES,
+    load: float = 0.3,
+    packets_per_node: int = 20,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+    chaos: Optional[ChaosSchedule] = None,
+):
+    """The resilience grid as a declarative sweep spec.
+
+    ``chaos`` is flattened to its constructor parameters so the spec (and
+    the result-cache key derived from it) stays JSON-canonical.
+    """
+    from dataclasses import asdict
+
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        kind="resilience",
+        axes={
+            "network": tuple(networks),
+            "k": tuple(failure_counts),
+        },
+        fixed={
+            "n_nodes": n_nodes,
+            "load": load,
+            "packets_per_node": packets_per_node,
+            "until": until,
+            "chaos": asdict(chaos) if chaos is not None else None,
+        },
+        root_seed=seed,
+    )
+
+
 def resilience_sweep(
     n_nodes: int = 64,
     failure_counts: Iterable[int] = (0, 1, 2, 4),
@@ -109,22 +146,26 @@ def resilience_sweep(
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
     chaos: Optional[ChaosSchedule] = None,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress=None,
 ) -> List[dict]:
     """The resilience grid: every network under every failure count.
 
     Returns one :func:`run_with_failures` row per (network, k) cell; the
-    conservation invariant is checked on every cell.
+    conservation invariant is checked on every cell.  ``jobs``/
+    ``cache_dir`` parallelize and cache the grid via :mod:`repro.runner`.
     """
-    rows = []
-    for network in networks:
-        for k in failure_counts:
-            rows.append(
-                run_with_failures(
-                    network, n_nodes, k, load, packets_per_node,
-                    seed, until, chaos,
-                )
-            )
-    return rows
+    from repro.runner import run_sweep
+
+    sweep = run_sweep(
+        resilience_spec(n_nodes, failure_counts, networks, load,
+                        packets_per_node, seed, until, chaos),
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress,
+    )
+    return sweep.results()
 
 
 def degraded_mode_comparison(

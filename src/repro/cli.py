@@ -14,6 +14,17 @@ Usage::
     python -m repro.cli awgr
     python -m repro.cli diagnose --nodes 64 --stage 2 --switch 13
     python -m repro.cli resilience --nodes 64 --packets 20
+
+Sweep-backed commands (``table5``, ``fig6``, ``fig7``, ``fig9``,
+``resilience``) additionally accept:
+
+* ``--jobs N``       -- run grid cells on N worker processes (default
+  ``$REPRO_JOBS`` or 1); results are bit-identical to ``--jobs 1``;
+* ``--cache-dir D``  -- reuse completed cells from the on-disk result
+  cache under D (a warm rerun executes zero simulations);
+* ``--no-cache``     -- ignore any cache and recompute everything;
+* ``--out F``        -- also write the canonical results JSON to F;
+* ``--progress``     -- stream per-job timing lines to stderr.
 """
 
 from __future__ import annotations
@@ -25,6 +36,32 @@ from typing import List, Optional
 from repro.analysis.tables import format_latency_grid, format_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _progress_printer(event: dict) -> None:
+    status = "cached" if event["cached"] else f"{event['elapsed_s']:.2f}s"
+    print(
+        f"[{event['index'] + 1}/{event['total']}] {event['key']} ({status})",
+        file=sys.stderr,
+    )
+
+
+def _sweep_kwargs(args) -> dict:
+    """run_sweep keyword payload from the shared sweep CLI flags."""
+    return dict(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=_progress_printer if args.progress else None,
+    )
+
+
+def _finish_sweep(args, sweep) -> None:
+    """Write ``--out`` and print the per-sweep execution report."""
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(sweep.to_json())
+    print(f"# sweep: {sweep.report.describe()}")
 
 
 def _cmd_table4(args) -> None:
@@ -43,10 +80,15 @@ def _cmd_table4(args) -> None:
 
 
 def _cmd_table5(args) -> None:
-    from repro.analysis.experiments import table5
+    from repro.analysis.experiments import reshape_table5, table5_spec
+    from repro.runner import run_sweep
 
-    rows = table5(n_nodes=args.nodes, packets_per_node=args.packets,
-                  seed=args.seed)
+    sweep = run_sweep(
+        table5_spec(n_nodes=args.nodes, packets_per_node=args.packets,
+                    seed=args.seed),
+        **_sweep_kwargs(args),
+    )
+    rows = reshape_table5(sweep)
     print(format_table(
         ["m", "gates", "latency_ns", "drop_%", "paper_drop_%"],
         [
@@ -57,18 +99,24 @@ def _cmd_table5(args) -> None:
         ],
         title=f"Table V -- multiplicity sweep ({args.nodes} nodes)",
     ))
+    _finish_sweep(args, sweep)
 
 
 def _cmd_fig6(args) -> None:
-    from repro.analysis.experiments import figure6
+    from repro.analysis.experiments import figure6_spec, reshape_figure6
     from repro.analysis.plotting import ascii_plot
+    from repro.runner import run_sweep
 
-    results = figure6(
-        n_nodes=args.nodes,
-        loads=tuple(args.loads),
-        packets_per_node=args.packets,
-        seed=args.seed,
+    sweep = run_sweep(
+        figure6_spec(
+            n_nodes=args.nodes,
+            loads=tuple(args.loads),
+            packets_per_node=args.packets,
+            seed=args.seed,
+        ),
+        **_sweep_kwargs(args),
     )
+    results = reshape_figure6(sweep)
     for pattern, grid in results.items():
         print(format_latency_grid(
             grid, metric="average_latency",
@@ -87,13 +135,23 @@ def _cmd_fig6(args) -> None:
                 ylabel="avg latency (ns)",
             ))
         print()
+    _finish_sweep(args, sweep)
 
 
 def _cmd_fig7(args) -> None:
-    from repro.analysis.experiments import NETWORK_NAMES, figure7
+    from repro.analysis.experiments import (
+        NETWORK_NAMES,
+        figure7_spec,
+        reshape_figure7,
+    )
+    from repro.runner import run_sweep
 
-    results = figure7(n_nodes=args.nodes, packets_per_node=args.packets,
-                      seed=args.seed)
+    sweep = run_sweep(
+        figure7_spec(n_nodes=args.nodes, packets_per_node=args.packets,
+                     seed=args.seed),
+        **_sweep_kwargs(args),
+    )
+    results = reshape_figure7(sweep)
     rows = []
     for workload, per_net in results.items():
         baldur = per_net["baldur"].average_latency
@@ -106,6 +164,7 @@ def _cmd_fig7(args) -> None:
         title=f"Fig. 7 -- avg latency normalized to Baldur "
         f"({args.nodes} nodes)",
     ))
+    _finish_sweep(args, sweep)
 
 
 def _cmd_fig8(args) -> None:
@@ -122,15 +181,19 @@ def _cmd_fig8(args) -> None:
 
 
 def _cmd_fig9(args) -> None:
-    from repro.power.sensitivity import SENSITIVITY_CASES, sensitivity_ratios
+    from repro.analysis.experiments import figure9_spec
+    from repro.runner import run_sweep
 
+    sweep = run_sweep(figure9_spec(), **_sweep_kwargs(args))
+    per_case = sweep.index("case")
     networks = ("dragonfly", "fattree", "multibutterfly")
     rows = [
-        [case] + [sensitivity_ratios(2**20, case)[n] for n in networks]
-        for case in SENSITIVITY_CASES
+        [case] + [ratios[n] for n in networks]
+        for case, ratios in per_case.items()
     ]
     print(format_table(["case"] + list(networks), rows,
                        title="Fig. 9 -- Baldur advantage (1M scale)"))
+    _finish_sweep(args, sweep)
 
 
 def _cmd_fig10(args) -> None:
@@ -196,9 +259,10 @@ def _cmd_diagnose(args) -> None:
 def _cmd_resilience(args) -> None:
     from repro.analysis.resilience import (
         degraded_mode_comparison,
-        resilience_sweep,
+        resilience_spec,
     )
     from repro.faults import ChaosSchedule
+    from repro.runner import run_sweep
 
     chaos = None
     if args.mtbf > 0:
@@ -208,15 +272,19 @@ def _cmd_resilience(args) -> None:
             horizon_ns=args.until,
             seed=args.seed,
         )
-    rows = resilience_sweep(
-        n_nodes=args.nodes,
-        failure_counts=tuple(args.failures),
-        load=args.load,
-        packets_per_node=args.packets,
-        seed=args.seed,
-        until=args.until,
-        chaos=chaos,
+    sweep = run_sweep(
+        resilience_spec(
+            n_nodes=args.nodes,
+            failure_counts=tuple(args.failures),
+            load=args.load,
+            packets_per_node=args.packets,
+            seed=args.seed,
+            until=args.until,
+            chaos=chaos,
+        ),
+        **_sweep_kwargs(args),
     )
+    rows = sweep.results()
     print(format_table(
         ["network", "k", "delivered", "drop_%", "given_up",
          "fault_drops", "avg_ns", "balance"],
@@ -253,6 +321,7 @@ def _cmd_resilience(args) -> None:
         title=f"Degraded mode -- faulty switch (stage {fault['stage']}, "
         f"switch {fault['switch']})",
     ))
+    _finish_sweep(args, sweep)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,28 +332,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(name, fn, **extra):
+    def add(name, fn, sweep=False, **extra):
         p = sub.add_parser(name)
         p.set_defaults(fn=fn)
         p.add_argument("--seed", type=int, default=0)
+        if sweep:
+            p.add_argument(
+                "--jobs", type=int, default=None,
+                help="worker processes (default: $REPRO_JOBS or 1)")
+            p.add_argument(
+                "--cache-dir", default=None,
+                help="reuse completed cells from this result cache")
+            p.add_argument(
+                "--no-cache", action="store_true",
+                help="ignore any cache and recompute every cell")
+            p.add_argument(
+                "--out", default=None,
+                help="write canonical results JSON to this file")
+            p.add_argument(
+                "--progress", action="store_true",
+                help="stream per-job timing lines to stderr")
         for arg, kwargs in extra.items():
             p.add_argument(f"--{arg}", **kwargs)
         return p
 
     add("table4", _cmd_table4)
-    add("table5", _cmd_table5,
+    add("table5", _cmd_table5, sweep=True,
         nodes=dict(type=int, default=128),
         packets=dict(type=int, default=20))
-    fig6 = add("fig6", _cmd_fig6,
+    fig6 = add("fig6", _cmd_fig6, sweep=True,
                nodes=dict(type=int, default=128),
                packets=dict(type=int, default=20))
     fig6.add_argument("--loads", type=float, nargs="+",
                       default=[0.3, 0.7, 0.9])
-    add("fig7", _cmd_fig7,
+    add("fig7", _cmd_fig7, sweep=True,
         nodes=dict(type=int, default=128),
         packets=dict(type=int, default=20))
     add("fig8", _cmd_fig8)
-    add("fig9", _cmd_fig9)
+    add("fig9", _cmd_fig9, sweep=True)
     add("fig10", _cmd_fig10)
     add("drop-model", _cmd_drop_model,
         nodes=dict(type=int, default=1024),
@@ -297,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
         switch=dict(type=int, default=13),
         probes=dict(type=int, default=200))
     resilience = add(
-        "resilience", _cmd_resilience,
+        "resilience", _cmd_resilience, sweep=True,
         nodes=dict(type=int, default=64),
         packets=dict(type=int, default=20),
         load=dict(type=float, default=0.3),

@@ -390,6 +390,27 @@ class BaldurNetwork(NetworkSimulator):
 
     # -- reporting --------------------------------------------------------------------
 
+    def unloaded_latency_ns(
+        self,
+        src: int = 0,
+        dst: int = 1,
+        size_bytes: int = C.PACKET_SIZE_BYTES,
+    ) -> float:
+        """Analytic zero-load end-to-end latency of one packet.
+
+        Injection link + one switch latency per stage + ejection link +
+        one serialization time (cut-through: the head streams through all
+        stages; the last byte lands one wire time after the head).  The
+        multi-butterfly is stage-symmetric, so this is independent of the
+        (src, dst) pair; a single packet in an otherwise idle network
+        must measure exactly this (the conformance-test invariant).
+        """
+        return (
+            2 * self.link_delay_ns
+            + self.topology.n_stages * self.switch_latency_ns
+            + C.packet_serialization_ns(size_bytes, self.link_rate_gbps)
+        )
+
     @property
     def peak_retx_buffer_kb(self) -> float:
         """Largest per-node retransmission-buffer occupancy seen (KB)."""

@@ -110,6 +110,30 @@ class DragonflyNetwork(NetworkSimulator):
         """All routers (fault-injection targets)."""
         return self.routers
 
+    def unloaded_latency_ns(
+        self, src: int, dst: int,
+        size_bytes: int = C.PACKET_SIZE_BYTES,
+    ) -> float:
+        """Analytic zero-load latency of one packet from src to dst.
+
+        At zero load UGAL-L always takes the minimal path (the Valiant
+        candidate loses the queue comparison to the bias), so the latency
+        is the injection link plus, for every router of the minimal
+        path, its pipeline latency and outgoing link delay, plus one
+        final serialization.
+        """
+        topo = self.topology
+        group, local = topo.router_of_node(src)
+        dst_group, _ = topo.router_of_node(dst)
+        router = self.routers[topo.router_id(group, local)]
+        ports, _vcs = self._path_ports(router.sid, dst, dst_group)
+        total = C.DRAGONFLY_INTRA_GROUP_DELAY_NS  # host injection link
+        for port_idx in ports:
+            port = router.ports[port_idx]
+            total += router.latency_ns + port.link_delay_ns
+            router = port.target_switch  # None after the terminal port
+        return total + C.packet_serialization_ns(size_bytes)
+
     # -- port arithmetic ---------------------------------------------------------
 
     def _terminal_port(self, dst: int) -> int:

@@ -41,6 +41,7 @@ class FatTreeNetwork(NetworkSimulator):
         topo = FatTreeTopology.for_nodes(n_nodes)
         super().__init__(n_nodes)
         self.topology = topo
+        self.switch_latency_ns = switch_latency_ns
         k, half = topo.k, topo.half
 
         def new_switch(sid: int, level: str, pod: int, idx: int) -> Switch:
@@ -108,6 +109,33 @@ class FatTreeNetwork(NetworkSimulator):
     def iter_switches(self):
         """Edge, aggregation, and core switches (fault-injection targets)."""
         return [*self.edges, *self.aggs, *self.cores]
+
+    def unloaded_latency_ns(
+        self, src: int, dst: int,
+        size_bytes: int = C.PACKET_SIZE_BYTES,
+    ) -> float:
+        """Analytic zero-load latency of one packet from src to dst.
+
+        Up/down routing fixes the hop count by pod locality: 1 switch
+        (same edge), 3 (same pod), or 5 (via a core).  Each hop costs the
+        switch pipeline plus its outgoing link; the host injection link
+        and one final serialization complete the path.
+        """
+        src_pod, src_edge, _ = self.topology.locate_host(src)
+        dst_pod, dst_edge, _ = self.topology.locate_host(dst)
+        if (src_pod, src_edge) == (dst_pod, dst_edge):
+            out_links = (LEVEL1_NS,)
+        elif src_pod == dst_pod:
+            out_links = (LEVEL2_NS, LEVEL2_NS, LEVEL1_NS)
+        else:
+            out_links = (LEVEL2_NS, LEVEL3_NS, LEVEL3_NS, LEVEL2_NS,
+                         LEVEL1_NS)
+        return (
+            LEVEL1_NS
+            + len(out_links) * self.switch_latency_ns
+            + sum(out_links)
+            + C.packet_serialization_ns(size_bytes)
+        )
 
     def _edge(self, pod: int, e: int) -> Switch:
         return self.edges[pod * self.topology.half + e]

@@ -24,6 +24,13 @@ class IdealNetwork(NetworkSimulator):
         self.topology = IdealTopology(n_nodes, latency_ns)
         self.latency_ns = latency_ns
 
+    def unloaded_latency_ns(
+        self, src: int = 0, dst: int = 1,
+        size_bytes: int = C.PACKET_SIZE_BYTES,
+    ) -> float:
+        """Analytic zero-load latency: the flat delay, by construction."""
+        return self.latency_ns
+
     def _inject(self, packet: Packet) -> None:
         packet.inject_time = self.env.now
         self.env.schedule(self.latency_ns, self._deliver, packet)

@@ -41,6 +41,8 @@ class MultiButterflyNetwork(NetworkSimulator):
         super().__init__(n_nodes)
         self.topology = MultiButterflyTopology(n_nodes, multiplicity, seed)
         self.multiplicity = multiplicity
+        self.switch_latency_ns = switch_latency_ns
+        self.link_delay_ns = link_delay_ns
         topo = self.topology
 
         # Build switches stage-major.
@@ -105,6 +107,24 @@ class MultiButterflyNetwork(NetworkSimulator):
     def iter_switches(self):
         """All buffered switches, stage-major (fault-injection targets)."""
         return self.switches
+
+    def unloaded_latency_ns(
+        self, src: int = 0, dst: int = 1,
+        size_bytes: int = C.PACKET_SIZE_BYTES,
+    ) -> float:
+        """Analytic zero-load end-to-end latency of one packet.
+
+        Virtual cut-through: injection link + per-stage (switch pipeline
+        + outgoing link) + one serialization of the last hop.  Stage-
+        symmetric like Baldur, hence independent of (src, dst).
+        """
+        n = self.topology.n_stages
+        return (
+            2 * self.link_delay_ns
+            + n * self.switch_latency_ns
+            + (n - 1) * INTER_STAGE_DELAY_NS
+            + C.packet_serialization_ns(size_bytes)
+        )
 
     def _route(self, switch: Switch, packet: Packet):
         """Direction by routing bit; least-loaded port among the m copies."""

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence
 
-__all__ = ["LatencyStats", "geomean"]
+__all__ = ["LatencyStats", "StatsSummary", "geomean"]
 
 
 class LatencyStats:
@@ -133,6 +135,93 @@ class LatencyStats:
             "retransmissions": self.retransmissions,
             "given_up": self.given_up,
         }
+
+
+@dataclass(frozen=True)
+class StatsSummary:
+    """An immutable, JSON-round-trippable view of a finished run's stats.
+
+    This is what sweep jobs return across process boundaries and what the
+    result cache stores.  It mirrors the read API of :class:`LatencyStats`
+    (``average_latency``, ``tail_latency``, ``drop_rate``, ...) so
+    experiment drivers and benches work identically on live and cached
+    results, and it carries ``latency_digest`` -- a SHA-256 over the
+    ordered per-packet latency sequence -- so two runs can be compared for
+    *trace* equality without shipping the full latency list around.
+    """
+
+    injected: int
+    delivered: int
+    drops: int
+    ack_drops: int
+    terminal_drops: int
+    given_up: int
+    retransmissions: int
+    in_flight: int
+    n_latencies: int
+    avg_latency_ns: float
+    tail_latency_ns: float
+    p50_latency_ns: float
+    latency_digest: str
+
+    @classmethod
+    def from_stats(cls, stats: "LatencyStats") -> "StatsSummary":
+        """Freeze a :class:`LatencyStats` into a summary."""
+        digest = hashlib.sha256()
+        for latency in stats.latencies:
+            digest.update(repr(latency).encode())
+            digest.update(b",")
+        return cls(
+            injected=stats.injected,
+            delivered=stats.delivered,
+            drops=stats.drops,
+            ack_drops=stats.ack_drops,
+            terminal_drops=stats.terminal_drops,
+            given_up=stats.given_up,
+            retransmissions=stats.retransmissions,
+            in_flight=stats.in_flight,
+            n_latencies=len(stats.latencies),
+            avg_latency_ns=stats.average_latency,
+            tail_latency_ns=stats.tail_latency,
+            p50_latency_ns=stats.percentile(50.0),
+            latency_digest=digest.hexdigest(),
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StatsSummary":
+        """Rebuild a summary from :meth:`to_dict` output (cache/JSON)."""
+        return cls(**{f: payload[f] for f in cls.__dataclass_fields__})
+
+    def to_dict(self) -> Dict:
+        """JSON-safe payload (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    # -- LatencyStats-compatible read API -----------------------------------
+
+    @property
+    def average_latency(self) -> float:
+        """Mean end-to-end latency over delivered packets."""
+        return self.avg_latency_ns
+
+    @property
+    def tail_latency(self) -> float:
+        """99th-percentile end-to-end latency."""
+        return self.tail_latency_ns
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped data packets / total data-packet transmission attempts."""
+        attempts = self.injected + self.retransmissions
+        if attempts == 0:
+            return 0.0
+        return self.drops / attempts
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / injected."""
+        if self.injected == 0:
+            return float("nan")
+        return self.delivered / self.injected
 
 
 def geomean(values: Sequence[float]) -> float:

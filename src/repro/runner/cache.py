@@ -1,0 +1,125 @@
+"""Content-addressed on-disk cache for completed sweep jobs.
+
+Cache keys are a SHA-256 over the canonical JSON of ``{kind, key, params,
+code}`` where ``code`` is a fingerprint of every ``repro`` source file --
+any change to the simulators (or to the job itself) changes the key, so a
+perf rewrite can never be served stale numbers from a previous code
+version.
+
+Each entry file additionally embeds a digest of its own result payload.
+:meth:`ResultCache.get` re-derives that digest on every read and treats
+any mismatch (truncation, bit-rot, manual tampering) as a miss: poisoned
+entries are counted, deleted, and recomputed -- never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import repro
+from repro.runner.spec import Job, canonical_json
+
+__all__ = ["ResultCache", "code_fingerprint", "result_digest"]
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Computed once per process; invalidates every cache entry whenever any
+    simulator code changes, which is the conservative notion of "same
+    experiment" a regression-safe cache needs.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def result_digest(result: Any) -> str:
+    """Digest of a result payload (what entry files embed and verify)."""
+    return hashlib.sha256(canonical_json(result).encode()).hexdigest()
+
+
+class ResultCache:
+    """Disk cache mapping job content hashes to result payloads."""
+
+    def __init__(self, cache_dir) -> None:
+        self.root = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        self.poisoned = 0
+
+    def job_cache_key(self, job: Job, fingerprint: Optional[str] = None) -> str:
+        """Content hash identifying one job under the current code."""
+        payload = {
+            "kind": job.kind,
+            "key": job.key,
+            "params": dict(job.params),
+            "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def entry_path(self, cache_key: str) -> Path:
+        return self.root / cache_key[:2] / f"{cache_key}.json"
+
+    def get(self, cache_key: str) -> Optional[Dict[str, Any]]:
+        """The cached result, or ``None`` on miss or failed verification."""
+        path = self.entry_path(cache_key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._poison(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("cache_key") != cache_key
+            or "result" not in entry
+            or entry.get("digest") != result_digest(entry["result"])
+        ):
+            self._poison(path)
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, cache_key: str, job: Job, result: Any) -> Path:
+        """Atomically persist one completed job result."""
+        path = self.entry_path(cache_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_key": cache_key,
+            "kind": job.kind,
+            "key": job.key,
+            "params": dict(job.params),
+            "digest": result_digest(result),
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def _poison(self, path: Path) -> None:
+        """A corrupted/stale entry: count it, drop it, report a miss."""
+        self.poisoned += 1
+        self.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -1,0 +1,243 @@
+"""Sweep execution: cache lookup, worker-pool dispatch, result assembly.
+
+:func:`run_sweep` is the single entry point every experiment driver and
+CLI command goes through.  It expands the spec, satisfies what it can
+from the cache, executes the rest either serially or on a
+``ProcessPoolExecutor`` (falling back to serial if a pool cannot be
+created in the current environment), and reassembles results **in
+expansion order** -- so the output is byte-identical no matter how many
+workers ran it or in which order they finished.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import execute_job
+from repro.runner.spec import Job, SweepSpec, canonical_json
+
+__all__ = [
+    "JobOutcome",
+    "SweepReport",
+    "SweepResult",
+    "resolve_jobs",
+    "run_sweep",
+]
+
+JOBS_ENV_VAR = "REPRO_JOBS"
+"""Environment default for worker count (used when ``jobs`` is None)."""
+
+ProgressFn = Callable[[Dict[str, Any]], None]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else 1."""
+    if jobs is None:
+        jobs = int(os.environ.get(JOBS_ENV_VAR, "1") or "1")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One finished grid point: the job, its result, and how it ran."""
+
+    job: Job
+    result: Dict[str, Any]
+    cached: bool
+    elapsed_s: float
+
+
+@dataclass
+class SweepReport:
+    """Observability rollup for one :func:`run_sweep` call."""
+
+    n_jobs: int = 0
+    executed: int = 0
+    cached: int = 0
+    poisoned: int = 0
+    workers: int = 1
+    parallel: bool = False
+    elapsed_s: float = 0.0
+    job_times_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sim_time_s(self) -> float:
+        """Total simulation wall time across jobs (> elapsed when parallel)."""
+        return sum(self.job_times_s.values())
+
+    def describe(self) -> str:
+        """One-line human summary (what the CLI prints after a sweep)."""
+        return (
+            f"{self.n_jobs} jobs ({self.executed} executed, "
+            f"{self.cached} cached"
+            + (f", {self.poisoned} poisoned" if self.poisoned else "")
+            + f") in {self.elapsed_s:.2f}s with {self.workers} worker"
+            + ("s" if self.workers != 1 else "")
+        )
+
+
+class SweepResult:
+    """Ordered outcomes of a sweep plus its spec and execution report."""
+
+    def __init__(self, spec: SweepSpec, outcomes: List[JobOutcome],
+                 report: SweepReport):
+        self.spec = spec
+        self.outcomes = outcomes
+        self.report = report
+
+    def results(self) -> List[Dict[str, Any]]:
+        """Result dicts in expansion (row-major grid) order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def index(
+        self,
+        *axis_names: str,
+        value: Callable[[Dict[str, Any]], Any] = lambda result: result,
+    ) -> Dict:
+        """Nest results by the given axes: ``index('pattern', 'network')``
+        returns ``{pattern: {network: value(result)}}``."""
+        names = axis_names or tuple(self.spec.axes)
+        nested: Dict = {}
+        for outcome in self.outcomes:
+            level = nested
+            for name in names[:-1]:
+                level = level.setdefault(outcome.job.params[name], {})
+            level[outcome.job.params[names[-1]]] = value(outcome.result)
+        return nested
+
+    def to_json(self) -> str:
+        """Canonical results document: deterministic for a given spec,
+        root seed, and code version -- independent of worker count,
+        cache temperature, and timing (which live in ``report`` only)."""
+        return canonical_json({
+            "spec": self.spec.payload(),
+            "jobs": [
+                {"key": outcome.job.key, "result": outcome.result}
+                for outcome in self.outcomes
+            ],
+        })
+
+
+def _timed_execute(kind: str, params: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+    """Worker-side wrapper: run one job and measure its wall time."""
+    start = time.perf_counter()
+    result = execute_job(kind, params)
+    return result, time.perf_counter() - start
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Execute every job of ``spec`` and return the assembled results.
+
+    ``jobs`` > 1 uses a process pool (``None`` consults ``$REPRO_JOBS``);
+    ``cache_dir`` enables the on-disk result cache; ``use_cache=False``
+    ignores any cache entirely.  ``progress`` is called once per finished
+    job with ``{index, total, key, cached, elapsed_s}``.
+    """
+    workers = resolve_jobs(jobs)
+    cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
+    expanded = spec.expand()
+    start = time.perf_counter()
+    report = SweepReport(n_jobs=len(expanded), workers=workers)
+
+    results: List[Optional[Dict[str, Any]]] = [None] * len(expanded)
+    cached_flags = [False] * len(expanded)
+    elapsed = [0.0] * len(expanded)
+    cache_keys: List[Optional[str]] = [None] * len(expanded)
+    to_run: List[int] = []
+
+    def finished(index: int) -> None:
+        report.job_times_s[expanded[index].key] = elapsed[index]
+        if progress is not None:
+            progress({
+                "index": index,
+                "total": len(expanded),
+                "key": expanded[index].key,
+                "cached": cached_flags[index],
+                "elapsed_s": elapsed[index],
+            })
+
+    for i, job in enumerate(expanded):
+        if cache is not None:
+            cache_keys[i] = cache.job_cache_key(job)
+            hit = cache.get(cache_keys[i])
+            if hit is not None:
+                results[i] = hit
+                cached_flags[i] = True
+                report.cached += 1
+                finished(i)
+                continue
+        to_run.append(i)
+
+    if to_run:
+        report.parallel = workers > 1 and len(to_run) > 1
+        if report.parallel:
+            report.parallel = _run_parallel(
+                expanded, to_run, results, elapsed, workers, finished
+            )
+        if not report.parallel:
+            for i in to_run:
+                results[i], elapsed[i] = _timed_execute(
+                    expanded[i].kind, dict(expanded[i].params)
+                )
+                finished(i)
+        report.executed = len(to_run)
+        if cache is not None:
+            for i in to_run:
+                cache.put(cache_keys[i], expanded[i], results[i])
+
+    if cache is not None:
+        report.poisoned = cache.poisoned
+    report.elapsed_s = time.perf_counter() - start
+
+    outcomes = [
+        JobOutcome(job=job, result=results[i], cached=cached_flags[i],
+                   elapsed_s=elapsed[i])
+        for i, job in enumerate(expanded)
+    ]
+    return SweepResult(spec, outcomes, report)
+
+
+def _run_parallel(
+    expanded: List[Job],
+    to_run: List[int],
+    results: List[Optional[Dict[str, Any]]],
+    elapsed: List[float],
+    workers: int,
+    finished: Callable[[int], None],
+) -> bool:
+    """Execute the pending jobs on a process pool.
+
+    Returns False (so the caller falls back to serial execution) if the
+    pool cannot be created at all -- e.g. sandboxed environments without
+    process-spawn rights.  Failures of individual jobs propagate: they
+    are errors in the experiment, not in the engine.
+    """
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(to_run)))
+    except (OSError, PermissionError, ValueError):
+        return False
+    with pool:
+        futures = {
+            pool.submit(_timed_execute, expanded[i].kind,
+                        dict(expanded[i].params)): i
+            for i in to_run
+        }
+        for future in as_completed(futures):
+            i = futures[future]
+            results[i], elapsed[i] = future.result()
+            finished(i)
+    return True

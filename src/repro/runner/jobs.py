@@ -1,0 +1,155 @@
+"""Job executors: the functions worker processes actually run.
+
+Each sweep ``kind`` maps to a module-level executor (so it pickles into
+:class:`concurrent.futures.ProcessPoolExecutor` workers) that takes the
+job's parameter dict and returns a JSON-safe result dict.  Executors are
+pure functions of their parameters: all randomness flows through the
+job's pre-derived ``seed``, which is what makes results independent of
+worker count and scheduling order.
+
+Heavyweight simulator modules are imported lazily inside the executors
+so importing :mod:`repro.runner` stays cheap and free of import cycles
+with :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.netsim.stats import StatsSummary
+
+__all__ = ["JOB_KINDS", "execute_job"]
+
+
+def _summary(stats) -> Dict[str, Any]:
+    return StatsSummary.from_stats(stats).to_dict()
+
+
+def _execute_open_loop(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One open-loop cell (a point of Fig. 6 / the hotspot column)."""
+    from repro.analysis.experiments import run_open_loop
+
+    stats = run_open_loop(
+        params["network"],
+        params["n_nodes"],
+        params["pattern"],
+        params["load"],
+        params["packets_per_node"],
+        seed=params["seed"],
+        until=params["until"],
+    )
+    return _summary(stats)
+
+
+def _execute_workload(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One Fig. 7 cell: hotspot, ping-pong, or an HPC trace replay."""
+    from repro import constants as C
+    from repro.analysis.experiments import build_network, run_open_loop
+    from repro.traffic import (
+        HPC_WORKLOADS,
+        ping_pong1_pairs,
+        ping_pong2_pairs,
+        replay_trace,
+        run_ping_pong,
+    )
+
+    workload = params["workload"]
+    n_nodes = params["n_nodes"]
+    seed = params["seed"]
+    until = params["until"]
+
+    if workload == "hotspot":
+        stats = run_open_loop(
+            params["network"], n_nodes, "hotspot", C.HEAVY_INPUT_LOAD,
+            max(2, params["packets_per_node"] // 4), seed=seed, until=until,
+        )
+        return _summary(stats)
+
+    if workload in ("ping_pong1", "ping_pong2"):
+        pairs_fn = ping_pong1_pairs if workload == "ping_pong1" else ping_pong2_pairs
+        net = build_network(params["network"], n_nodes, seed)
+        stats = run_ping_pong(
+            net, pairs_fn(n_nodes, seed),
+            rounds=params["ping_pong_rounds"], until=until,
+        )
+        return _summary(stats)
+
+    if workload in HPC_WORKLOADS:
+        kwargs = dict(params.get("hpc_kwargs") or {})
+        trace = HPC_WORKLOADS[workload](n_nodes, seed=seed, **kwargs)
+        net = build_network(params["network"], n_nodes, seed)
+        return _summary(replay_trace(net, trace, until=until))
+
+    raise ConfigurationError(f"unknown workload {workload!r}")
+
+
+def _execute_table5(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One Table V row: Baldur at a given multiplicity under transpose."""
+    from repro import constants as C
+    from repro.core.baldur_network import BaldurNetwork
+    from repro.tl.switch_circuit import switch_model
+    from repro.traffic import inject_open_loop, transpose
+
+    m = params["multiplicity"]
+    model = switch_model(m)
+    net = BaldurNetwork(params["n_nodes"], multiplicity=m, seed=params["seed"])
+    inject_open_loop(
+        net, transpose(params["n_nodes"]), params["load"],
+        params["packets_per_node"], seed=params["seed"],
+    )
+    stats = net.run(until=params["until"])
+    return {
+        "multiplicity": m,
+        "gates_per_switch": model.gate_count,
+        "switch_latency_ns": model.latency_ns,
+        "drop_rate_pct": 100 * stats.drop_rate,
+        "paper_drop_rate_pct": C.PAPER_DROP_RATE_PCT.get(m),
+        "avg_latency_ns": stats.average_latency,
+        "stats": _summary(stats),
+    }
+
+
+def _execute_resilience(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One resilience cell: a network under ``k`` failed switches."""
+    from repro.analysis.resilience import run_with_failures
+    from repro.faults import ChaosSchedule
+
+    chaos_params = params.get("chaos")
+    chaos = ChaosSchedule(**chaos_params) if chaos_params else None
+    return run_with_failures(
+        params["network"],
+        params["n_nodes"],
+        params["k"],
+        load=params["load"],
+        packets_per_node=params["packets_per_node"],
+        seed=params["seed"],
+        until=params["until"],
+        chaos=chaos,
+    )
+
+
+def _execute_sensitivity(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One Fig. 9 column: power-advantage ratios under a scaling case."""
+    from repro.power.sensitivity import sensitivity_ratios
+
+    return dict(sensitivity_ratios(params["scale"], params["case"]))
+
+
+JOB_KINDS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {
+    "open_loop": _execute_open_loop,
+    "workload": _execute_workload,
+    "table5": _execute_table5,
+    "resilience": _execute_resilience,
+    "sensitivity": _execute_sensitivity,
+}
+"""Registry of sweep kinds -> executors (extend to add new sweep types)."""
+
+
+def execute_job(kind: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one job in the current process and return its result dict."""
+    try:
+        executor = JOB_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(f"unknown job kind {kind!r}") from None
+    return executor(params)

@@ -1,0 +1,110 @@
+"""Declarative sweep specifications and their expansion into jobs.
+
+A :class:`SweepSpec` is the cartesian product of named *axes* (the grid
+dimensions: pattern, network, load, ...) over a set of *fixed* parameters
+shared by every cell.  :meth:`SweepSpec.expand` turns it into an ordered
+list of :class:`Job` objects, one per grid point.
+
+Seed discipline: each job's simulation seed is derived from the sweep's
+``root_seed`` and the job's canonical key via
+:func:`repro.sim.rand.derive_seed`.  The derivation depends only on
+*what* the job is, never on *when* or *where* it runs, which is what
+makes ``--jobs N`` bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rand import derive_seed
+
+__all__ = ["Job", "SweepSpec", "canonical_json"]
+
+RESERVED_PARAMS = ("seed",)
+"""Parameter names injected by the expansion; specs may not define them."""
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace, shortest-repr floats.
+
+    Two structurally equal values always serialize to the same bytes, so
+    this is the basis for job hashing and byte-identical results files.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One grid point: an executor kind, a canonical key, and parameters.
+
+    ``params`` contains the fixed parameters, this job's axis assignment,
+    and the derived ``seed`` -- exactly the keyword payload handed to the
+    executor registered for ``kind`` in :mod:`repro.runner.jobs`.
+    """
+
+    kind: str
+    key: str
+    params: Mapping[str, Any]
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: ``kind`` x ``axes`` grid over ``fixed`` params.
+
+    ``axes`` preserves declaration order; jobs are expanded in row-major
+    order over that ordering, so the expansion itself is deterministic.
+    """
+
+    kind: str
+    axes: Mapping[str, Sequence[Any]]
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    root_seed: int = 0
+
+    def __post_init__(self):
+        if not self.axes:
+            raise ConfigurationError("a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if not tuple(values):
+                raise ConfigurationError(f"axis {name!r} has no values")
+        overlap = set(self.axes) & set(self.fixed)
+        if overlap:
+            raise ConfigurationError(
+                f"axes and fixed params overlap: {sorted(overlap)}"
+            )
+        for reserved in RESERVED_PARAMS:
+            if reserved in self.axes or reserved in self.fixed:
+                raise ConfigurationError(
+                    f"{reserved!r} is derived per job; use root_seed "
+                    "(or a replication axis) instead"
+                )
+
+    def job_key(self, assignment: Mapping[str, Any]) -> str:
+        """Canonical key of one grid point (stable across runs)."""
+        parts = [self.kind] + [f"{k}={assignment[k]}" for k in self.axes]
+        return "/".join(parts)
+
+    def expand(self) -> List[Job]:
+        """All jobs of the grid, in deterministic row-major order."""
+        names = list(self.axes)
+        jobs: List[Job] = []
+        for combo in itertools.product(*(tuple(self.axes[n]) for n in names)):
+            assignment = dict(zip(names, combo))
+            key = self.job_key(assignment)
+            seed = derive_seed(self.root_seed, key)
+            params: Dict[str, Any] = {**self.fixed, **assignment, "seed": seed}
+            jobs.append(Job(kind=self.kind, key=key, params=params, seed=seed))
+        return jobs
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-safe identity of this spec (embedded in results files)."""
+        return {
+            "kind": self.kind,
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "fixed": dict(self.fixed),
+            "root_seed": self.root_seed,
+        }
