@@ -10,6 +10,7 @@ from conftest import emit, emit_sweep_report
 
 from repro.analysis.experiments import (
     NETWORK_NAMES,
+    figure7_ratios,
     figure7_spec,
     reshape_figure7,
 )
@@ -39,17 +40,20 @@ def test_fig7_workloads(benchmark, bench_nodes, bench_packets,
     )
     emit_sweep_report(sweep)
     results = reshape_figure7(sweep)
+    # figure7_ratios omits zero-delivery cells (NaN averages); the table
+    # shows them as "-" and the geomean runs over the usable cells only.
+    ratio_grid = figure7_ratios(results)
+    nan = float("nan")
     rows = []
     ratios = {name: [] for name in NETWORK_NAMES if name != "baldur"}
     for workload in WORKLOADS:
-        per_net = results[workload]
-        baldur = per_net["baldur"].average_latency
-        row = [workload] + [
-            per_net[name].average_latency / baldur for name in NETWORK_NAMES
-        ]
-        rows.append(row)
+        per_workload = ratio_grid.get(workload, {})
+        rows.append([workload] + [
+            per_workload.get(name, nan) for name in NETWORK_NAMES
+        ])
         for name in ratios:
-            ratios[name].append(per_net[name].average_latency / baldur)
+            if name in per_workload:
+                ratios[name].append(per_workload[name])
     rows.append(
         ["geomean"]
         + [

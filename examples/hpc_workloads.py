@@ -10,6 +10,7 @@ worst case for dragonfly/fat-tree).
 Run:  python examples/hpc_workloads.py [n_nodes]
 """
 
+import math
 import sys
 
 from repro import HPC_WORKLOADS, build_network, replay_trace
@@ -21,6 +22,7 @@ NETWORKS = ("baldur", "multibutterfly", "dragonfly", "fattree")
 
 def main(n_nodes: int = 128) -> None:
     rows = []
+    nan = float("nan")
     ratios = {name: [] for name in NETWORKS if name != "baldur"}
     for workload, trace_fn in HPC_WORKLOADS.items():
         trace = trace_fn(n_nodes, seed=1)
@@ -30,12 +32,17 @@ def main(n_nodes: int = 128) -> None:
             stats = replay_trace(net, trace, until=100_000_000)
             latencies[network] = stats.average_latency
         baldur = latencies["baldur"]
-        rows.append(
-            [workload, baldur]
-            + [latencies[name] / baldur for name in NETWORKS[1:]]
-        )
-        for name in ratios:
-            ratios[name].append(latencies[name] / baldur)
+        row = [workload, baldur]
+        for name in NETWORKS[1:]:
+            # A saturated cell delivers nothing and reports NaN average
+            # latency; show "-" and leave it out of the geomean.
+            if math.isfinite(baldur) and math.isfinite(latencies[name]):
+                ratio = latencies[name] / baldur
+                ratios[name].append(ratio)
+            else:
+                ratio = nan
+            row.append(ratio)
+        rows.append(row)
     rows.append(
         ["geomean", 1.0] + [geomean(ratios[name]) for name in NETWORKS[1:]]
     )

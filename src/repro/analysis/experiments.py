@@ -52,6 +52,7 @@ __all__ = [
     "reshape_figure6",
     "figure7",
     "figure7_spec",
+    "figure7_ratios",
     "reshape_figure7",
     "table5",
     "table5_spec",
@@ -109,9 +110,20 @@ def run_open_loop(
     packets_per_node: int,
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
+    tracer=None,
+    metrics=None,
 ) -> LatencyStats:
-    """One open-loop experiment cell (one point of Fig. 6)."""
+    """One open-loop experiment cell (one point of Fig. 6).
+
+    ``tracer``/``metrics`` optionally attach observability
+    (:mod:`repro.obs`) before injection; both are passive and leave the
+    returned stats byte-identical to an unobserved run.
+    """
     net = build_network(network_name, n_nodes, seed)
+    if tracer is not None:
+        net.attach_tracer(tracer)
+    if metrics is not None:
+        net.attach_metrics(metrics)
     destinations = pattern_destinations(pattern, n_nodes, seed)
     inject_open_loop(net, destinations, load, packets_per_node, seed=seed)
     return net.run(until=until)
@@ -140,10 +152,24 @@ def figure6_spec(
     networks: Iterable[str] = NETWORK_NAMES,
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
+    obs: Optional[Dict] = None,
 ):
-    """The Fig. 6 grid as a declarative sweep spec."""
+    """The Fig. 6 grid as a declarative sweep spec.
+
+    ``obs`` optionally enables per-cell observability (e.g. ``{"trace":
+    True, "metrics": True}``, see :mod:`repro.runner.jobs`).  It is only
+    added to the spec when set, so default specs -- and therefore job
+    keys, cache entries, and golden results files -- are unchanged.
+    """
     from repro.runner import SweepSpec
 
+    fixed = {
+        "n_nodes": n_nodes,
+        "packets_per_node": packets_per_node,
+        "until": until,
+    }
+    if obs is not None:
+        fixed["obs"] = dict(obs)
     return SweepSpec(
         kind="open_loop",
         axes={
@@ -151,11 +177,7 @@ def figure6_spec(
             "network": tuple(networks),
             "load": tuple(loads),
         },
-        fixed={
-            "n_nodes": n_nodes,
-            "packets_per_node": packets_per_node,
-            "until": until,
-        },
+        fixed=fixed,
         root_seed=seed,
     )
 
@@ -230,6 +252,51 @@ def figure7_spec(
 def reshape_figure7(sweep) -> Dict[str, Dict[str, StatsSummary]]:
     """``result[workload][network] -> StatsSummary``."""
     return sweep.index("workload", "network", value=StatsSummary.from_dict)
+
+
+def figure7_ratios(
+    results: Dict[str, Dict[str, StatsSummary]],
+    networks: Iterable[str] = NETWORK_NAMES,
+    baseline: str = "baldur",
+) -> Dict[str, Dict[str, float]]:
+    """Average-latency ratios normalized to ``baseline``, skipping bad cells.
+
+    A cell with no deliveries reports NaN average latency (e.g. a
+    saturated electrical network at a short horizon); its ratio is
+    meaningless, so such cells are *omitted* -- with a
+    :class:`RuntimeWarning` naming them -- rather than propagated into
+    tables and geomeans.  A workload whose baseline cell is unusable is
+    dropped entirely.  Returns ``{workload: {network: ratio}}`` with
+    ``ratio == 1.0`` for the baseline.
+    """
+    import math
+    import warnings
+
+    ratios: Dict[str, Dict[str, float]] = {}
+    for workload, per_net in results.items():
+        base = per_net[baseline].average_latency
+        if not math.isfinite(base) or base <= 0:
+            warnings.warn(
+                f"fig7: skipping workload {workload!r}: {baseline} "
+                f"average latency is {base} (no deliveries?)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        row: Dict[str, float] = {}
+        for name in networks:
+            avg = per_net[name].average_latency
+            if not math.isfinite(avg) or avg <= 0:
+                warnings.warn(
+                    f"fig7: skipping cell ({workload!r}, {name!r}): "
+                    f"average latency is {avg} (no deliveries?)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            row[name] = avg / base
+        ratios[workload] = row
+    return ratios
 
 
 def figure7(

@@ -14,6 +14,7 @@ Usage::
     python -m repro.cli awgr
     python -m repro.cli diagnose --nodes 64 --stage 2 --switch 13
     python -m repro.cli resilience --nodes 64 --packets 20
+    python -m repro.cli trace --network baldur --nodes 64 --load 0.9
 
 Sweep-backed commands (``table5``, ``fig6``, ``fig7``, ``fig9``,
 ``resilience``) additionally accept:
@@ -141,6 +142,7 @@ def _cmd_fig6(args) -> None:
 def _cmd_fig7(args) -> None:
     from repro.analysis.experiments import (
         NETWORK_NAMES,
+        figure7_ratios,
         figure7_spec,
         reshape_figure7,
     )
@@ -152,13 +154,17 @@ def _cmd_fig7(args) -> None:
         **_sweep_kwargs(args),
     )
     results = reshape_figure7(sweep)
-    rows = []
-    for workload, per_net in results.items():
-        baldur = per_net["baldur"].average_latency
-        rows.append([workload] + [
-            per_net[name].average_latency / baldur
+    # Cells without deliveries have no meaningful ratio; figure7_ratios
+    # omits them (with a warning) and the table shows them as "-".
+    ratios = figure7_ratios(results)
+    nan = float("nan")
+    rows = [
+        [workload] + [
+            ratios.get(workload, {}).get(name, nan)
             for name in NETWORK_NAMES
-        ])
+        ]
+        for workload in results
+    ]
     print(format_table(
         ["workload"] + list(NETWORK_NAMES), rows,
         title=f"Fig. 7 -- avg latency normalized to Baldur "
@@ -324,6 +330,53 @@ def _cmd_resilience(args) -> None:
     _finish_sweep(args, sweep)
 
 
+def _cmd_trace(args) -> int:
+    """Run one observed open-loop experiment and replay a flow's timeline."""
+    from repro.analysis.experiments import (
+        build_network,
+        pattern_destinations,
+    )
+    from repro.obs import MetricsRegistry, Tracer, format_timeline
+    from repro.traffic import inject_open_loop
+
+    net = build_network(args.network, args.nodes, args.seed)
+    tracer = Tracer(capacity=args.capacity)
+    net.attach_tracer(tracer)
+    metrics = None
+    if args.metrics_out:
+        metrics = MetricsRegistry(window_ns=args.window)
+        net.attach_metrics(metrics)
+    destinations = pattern_destinations(args.pattern, args.nodes, args.seed)
+    inject_open_loop(net, destinations, args.load, args.packets,
+                     seed=args.seed)
+    net.run(until=args.until)
+
+    pid = args.pid
+    if pid is None:
+        pid = tracer.pick_flow(src=args.src, dst=args.dst)
+    flow = tracer.flow(pid) if pid is not None else []
+    if not flow:
+        print(f"# {tracer.describe()}")
+        print(f"no trace events match the requested flow (pid={args.pid}, "
+              f"src={args.src}, dst={args.dst})")
+        return 1
+    print(f"# {args.network}, {args.nodes} nodes, pattern "
+          f"{args.pattern}, load {args.load} -- flow pid={pid}")
+    for line in format_timeline(flow):
+        print(line)
+    print()
+    print(f"# {tracer.describe()}")
+    if metrics is not None:
+        print(f"# {metrics.describe()}")
+    if args.out:
+        n = tracer.to_jsonl(args.out)
+        print(f"# wrote {n} trace events to {args.out}")
+    if args.metrics_out:
+        n = metrics.to_jsonl(args.metrics_out)
+        print(f"# wrote {n} metric samples to {args.metrics_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -368,6 +421,31 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig7", _cmd_fig7, sweep=True,
         nodes=dict(type=int, default=128),
         packets=dict(type=int, default=20))
+    trace = add(
+        "trace", _cmd_trace,
+        network=dict(default="baldur",
+                     help="baldur, multibutterfly, dragonfly, fattree, "
+                          "or ideal"),
+        nodes=dict(type=int, default=64),
+        pattern=dict(default="transpose"),
+        load=dict(type=float, default=0.7),
+        packets=dict(type=int, default=20),
+        until=dict(type=float, default=50_000_000.0),
+        src=dict(type=int, default=None,
+                 help="restrict the replayed flow to this source node"),
+        dst=dict(type=int, default=None,
+                 help="restrict the replayed flow to this destination"),
+        pid=dict(type=int, default=None,
+                 help="replay exactly this packet id"),
+        out=dict(default=None,
+                 help="write the full trace as JSONL to this file"),
+        window=dict(type=float, default=1000.0,
+                    help="metrics aggregation window in ns"),
+        capacity=dict(type=int, default=65536,
+                      help="trace ring-buffer capacity (events)"))
+    trace.add_argument(
+        "--metrics-out", default=None,
+        help="also collect per-switch metrics and write them as JSONL")
     add("fig8", _cmd_fig8)
     add("fig9", _cmd_fig9, sweep=True)
     add("fig10", _cmd_fig10)
@@ -398,8 +476,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    args.fn(args)
-    return 0
+    status = args.fn(args)
+    return 0 if status is None else int(status)
 
 
 if __name__ == "__main__":

@@ -189,9 +189,15 @@ class BaldurNetwork(NetworkSimulator):
             # In-network filtering (Sec. VIII): the first-stage switch
             # blocks the packet; no retransmission state is created.
             self.filtered_packets += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.env.now, "drop", packet, note="filtered"
+                )
             if not packet.is_ack:
                 self._record_terminal_drop(packet)
             return
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "inject", packet)
         if self.enable_retransmission and not packet.is_ack:
             self._pending[packet.pid] = packet
             self._retx_buffer_bytes[packet.src] += packet.size_bytes
@@ -235,10 +241,17 @@ class BaldurNetwork(NetworkSimulator):
             )
         injector = self.fault_injector
         flat = stage * topo.switches_per_stage + switch
+        if self.tracer is not None:
+            self.tracer.record(
+                now, "stage_arrival", packet, switch=flat, stage=stage
+            )
+        if self.metrics is not None:
+            self.metrics.incr("arrivals", flat, now)
         if (stage, switch) in self.faulty_switches or (
             injector is not None and injector.check_drop(flat, now)
         ):
-            self._drop_in_network(packet)
+            self._drop_in_network(packet, stage=stage, switch=switch,
+                                  note="fault")
             return
         bit = topo.routing_bit(packet.dst, stage)
         last = topo.is_last_stage(stage)
@@ -256,11 +269,25 @@ class BaldurNetwork(NetworkSimulator):
                     k for k in free
                     if (stage + 1, targets[k]) not in self.masked_switches
                 ]
+        if self.metrics is not None:
+            busy = self.multiplicity - len(free)
+            self.metrics.observe_max("occupancy_ports", flat, now, busy)
+            if busy:
+                self.metrics.incr("arb_conflicts", flat, now)
         if not free:
-            self._drop_in_network(packet)
+            if self.tracer is not None:
+                self.tracer.record(
+                    now, "arb_loss", packet, switch=flat, stage=stage
+                )
+            self._drop_in_network(packet, stage=stage, switch=switch,
+                                  note="all ports busy")
             return
         k = free[self._rng.randrange(len(free))] if len(free) > 1 else free[0]
         ports[k] = now + packet.serialization_time_ns(self.link_rate_gbps)
+        if self.tracer is not None:
+            self.tracer.record(
+                now, "arb_win", packet, switch=flat, stage=stage, port=k
+            )
         packet.hops += 1
         latency = self.switch_latency_ns
         if injector is not None:
@@ -283,10 +310,32 @@ class BaldurNetwork(NetworkSimulator):
                 targets[k],
             )
 
-    def _drop_in_network(self, packet: Packet) -> None:
-        """An in-network drop; terminal when no retransmission follows."""
+    def _drop_in_network(
+        self,
+        packet: Packet,
+        stage: Optional[int] = None,
+        switch: Optional[int] = None,
+        note: Optional[str] = None,
+    ) -> None:
+        """An in-network drop; terminal when no retransmission follows.
+
+        ``stage``/``switch`` locate the drop for tracing and per-switch
+        metrics attribution when known.
+        """
         packet.dropped = True
         self.stats.record_drop(is_ack=packet.is_ack)
+        flat = (
+            self.flat_switch_id(stage, switch)
+            if stage is not None and switch is not None
+            else None
+        )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, "drop", packet,
+                switch=flat, stage=stage, note=note,
+            )
+        if self.metrics is not None and flat is not None:
+            self.metrics.incr("drops", flat, self.env.now)
         if not packet.is_ack and not self.enable_retransmission:
             self._record_terminal_drop(packet)
 
@@ -325,8 +374,14 @@ class BaldurNetwork(NetworkSimulator):
         )
         if self.packet_filter is not None and self.packet_filter(ack):
             self.filtered_packets += 1
+            if self.tracer is not None:
+                self.tracer.record(now, "drop", ack, note="filtered")
             return
         self.acks_sent += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                now, "ack", ack, acked=tuple(covered), note="sent"
+            )
         self._transmit(ack, attempt=1)
 
     def _coalesce_ack(self, packet: Packet, now: float) -> None:
@@ -354,6 +409,10 @@ class BaldurNetwork(NetworkSimulator):
             if isinstance(ack.acked_pid, tuple)
             else (ack.acked_pid,)
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, "ack", ack, acked=covered, note="received"
+            )
         for pid in covered:
             data = self._pending.pop(pid, None)
             if data is not None:
@@ -381,6 +440,11 @@ class BaldurNetwork(NetworkSimulator):
             return
         self.stats.record_retransmission()
         packet.retransmissions += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, "retransmit", packet,
+                note=f"attempt {attempt + 1}",
+            )
         backoff = (
             self._beb_rng.randrange(0, 2 ** min(attempt, 10)) * BEB_SLOT_NS
         )

@@ -216,4 +216,6 @@ class DragonflyNetwork(NetworkSimulator):
         packet.vc = 0
         packet.plan_ports = None
         packet.plan_vcs = None
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "inject", packet)
         self.hosts[packet.src].inject(packet, self.env.now)

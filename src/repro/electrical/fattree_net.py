@@ -170,4 +170,6 @@ class FatTreeNetwork(NetworkSimulator):
 
     def _inject(self, packet: Packet) -> None:
         packet.vc = packet.pid % C.ELECTRICAL_VIRTUAL_CHANNELS
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "inject", packet)
         self.hosts[packet.src].inject(packet, self.env.now)

@@ -33,6 +33,8 @@ class IdealNetwork(NetworkSimulator):
 
     def _inject(self, packet: Packet) -> None:
         packet.inject_time = self.env.now
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "inject", packet)
         self.env.schedule(self.latency_ns, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:

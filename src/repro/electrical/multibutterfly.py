@@ -144,4 +144,6 @@ class MultiButterflyNetwork(NetworkSimulator):
         # Feed-forward topology: VCs never need to escalate, so spread
         # packets across the 3 partitions for full buffer utilization.
         packet.vc = packet.pid % C.ELECTRICAL_VIRTUAL_CHANNELS
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "inject", packet)
         self.hosts[packet.src].inject(packet, self.env.now)

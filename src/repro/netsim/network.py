@@ -23,9 +23,21 @@ The base class also owns two cross-cutting resilience facilities used by
   :class:`~repro.faults.FaultInjector` and wires its fail-stop/corruption/
   slow-gate checks into every switch the network exposes via
   :meth:`NetworkSimulator.iter_switches`.
+
+A third cross-cutting facility is the **observability plane**
+(:mod:`repro.obs`): :meth:`NetworkSimulator.attach_tracer` and
+:meth:`NetworkSimulator.attach_metrics` hang a packet-lifecycle
+:class:`~repro.obs.Tracer` and/or a windowed per-switch
+:class:`~repro.obs.MetricsRegistry` off the same ``iter_switches``
+plumbing faults use.  Both default to ``None`` and cost a single
+``is None`` check per hook site when detached; attached observers are
+strictly passive (no RNG draws, no state writes), so they can never
+change simulation results.
 """
 
 from __future__ import annotations
+
+import functools
 
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
@@ -50,6 +62,9 @@ class NetworkSimulator:
         self.receive_hook: Optional[Callable[[Packet, float], None]] = None
         self._next_pid = 0
         self.fault_injector = None
+        # Observability plane (repro.obs); None = zero-overhead hook sites.
+        self.tracer = None
+        self.metrics = None
         # Conservation ledger: pids of data packets whose fate is still open.
         self._outstanding: Set[int] = set()
 
@@ -106,6 +121,8 @@ class NetworkSimulator:
         """Record the delivery and fire the closed-loop hook."""
         self._resolve(packet, "delivered")
         self.stats.record_delivery(time - packet.create_time)
+        if self.tracer is not None:
+            self.tracer.record(time, "deliver", packet)
         if self.receive_hook is not None:
             self.receive_hook(packet, time)
 
@@ -118,6 +135,8 @@ class NetworkSimulator:
         """A data packet was abandoned undelivered after max retries."""
         self._resolve(packet, "given up")
         self.stats.record_give_up()
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "give_up", packet)
 
     def _resolve(self, packet: Packet, outcome: str) -> None:
         try:
@@ -179,12 +198,87 @@ class NetworkSimulator:
             return 0.0
         return injector.extra_latency_ns(switch.sid, self.env.now)
 
-    def _switch_fault_drop(self, packet: Packet) -> None:
+    def _switch_fault_drop(self, packet: Packet, switch=None) -> None:
         """A buffered electrical switch discarded a packet due to a fault:
-        there is no retransmission layer, so the loss is terminal."""
+        there is no retransmission layer, so the loss is terminal.  The
+        dropping switch is passed for per-switch attribution."""
         self.stats.record_drop(is_ack=packet.is_ack)
+        sid = switch.sid if switch is not None else None
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, "drop", packet, switch=sid, note="fault"
+            )
+        if self.metrics is not None and sid is not None:
+            self.metrics.incr("drops", sid, self.env.now)
         if not packet.is_ack:
             self._record_terminal_drop(packet)
+
+    # -- observability -----------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`~repro.obs.Tracer` on this network.
+
+        Mirrors :meth:`attach_faults`: the base class wires the shared
+        switch-level hooks; simulators with non-switch machinery (Baldur's
+        bufferless stages, the retransmission layer) also consult
+        ``self.tracer`` inline.  Pass ``None`` to detach.
+        """
+        self.tracer = tracer
+        self._install_obs()
+
+    def attach_metrics(self, registry) -> None:
+        """Install a :class:`~repro.obs.MetricsRegistry` on this network.
+
+        Pass ``None`` to detach.
+        """
+        self.metrics = registry
+        self._install_obs()
+
+    def _install_obs(self) -> None:
+        """(Re)wire observability hooks into every exposed switch.
+
+        Idempotent; when both tracer and metrics are detached the hooks
+        are reset to ``None`` so the hot path pays nothing again.
+        """
+        observing = self.tracer is not None or self.metrics is not None
+        for switch in self.iter_switches():
+            switch.arrival_hook = self._obs_switch_arrival if observing else None
+            for port in switch.ports:
+                port.stall_hook = (
+                    functools.partial(self._obs_credit_stall, switch.sid)
+                    if observing
+                    else None
+                )
+
+    def _obs_switch_arrival(self, switch, packet: Packet) -> None:
+        """Passive observer for electrical switch header arrivals."""
+        now = self.env.now
+        if self.tracer is not None:
+            self.tracer.record(
+                now,
+                "stage_arrival",
+                packet,
+                switch=switch.sid,
+                stage=switch.meta.get("stage"),
+            )
+        if self.metrics is not None:
+            self.metrics.incr("arrivals", switch.sid, now)
+            self.metrics.observe_max(
+                "occupancy_bytes",
+                switch.sid,
+                now,
+                sum(port.queued_bytes for port in switch.ports),
+            )
+
+    def _obs_credit_stall(self, sid: int, packet: Packet) -> None:
+        """Passive observer for head-of-line credit stalls."""
+        now = self.env.now
+        if self.tracer is not None:
+            self.tracer.record(
+                now, "credit_stall", packet, switch=sid
+            )
+        if self.metrics is not None:
+            self.metrics.incr("credit_stalls", sid, now)
 
     # -- execution ----------------------------------------------------------------
 

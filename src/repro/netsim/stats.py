@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Mapping, Sequence
 
@@ -74,7 +75,16 @@ class LatencyStats:
         return self.percentile(99.0)
 
     def percentile(self, pct: float) -> float:
-        """Latency percentile using nearest-rank on the sorted sample."""
+        """Latency percentile using nearest-rank on the sorted sample.
+
+        Nearest-rank (no interpolation): the value at index
+        ``ceil(pct/100 * n) - 1`` of the sorted sample.  Beware small
+        samples -- with fewer than 100 latencies the 99th percentile is
+        simply the maximum, so a single outlier *is* the reported tail.
+        Consumers should check the sample size (``n_latencies`` in
+        :meth:`summary` and :class:`StatsSummary`) before reading tail
+        estimates as population percentiles.
+        """
         if not self.latencies:
             return float("nan")
         if not 0 < pct <= 100:
@@ -125,12 +135,18 @@ class LatencyStats:
         }
 
     def summary(self) -> Dict[str, float]:
-        """A dict of the headline metrics."""
+        """A dict of the headline metrics.
+
+        ``n_latencies`` accompanies ``tail_latency_ns`` so readers can
+        judge the tail estimate (nearest-rank p99 equals the sample max
+        below 100 samples -- see :meth:`percentile`).
+        """
         return {
             "injected": self.injected,
             "delivered": self.delivered,
             "avg_latency_ns": self.average_latency,
             "tail_latency_ns": self.tail_latency,
+            "n_latencies": len(self.latencies),
             "drop_rate": self.drop_rate,
             "retransmissions": self.retransmissions,
             "given_up": self.given_up,
@@ -187,10 +203,21 @@ class StatsSummary:
             latency_digest=digest.hexdigest(),
         )
 
+    _NULLABLE_FLOATS = ("avg_latency_ns", "tail_latency_ns", "p50_latency_ns")
+
     @classmethod
     def from_dict(cls, payload: Mapping) -> "StatsSummary":
-        """Rebuild a summary from :meth:`to_dict` output (cache/JSON)."""
-        return cls(**{f: payload[f] for f in cls.__dataclass_fields__})
+        """Rebuild a summary from :meth:`to_dict` output (cache/JSON).
+
+        Latency fields are NaN when nothing was delivered; RFC 8259 JSON
+        has no NaN literal, so :func:`~repro.runner.spec.canonical_json`
+        serializes them as ``null`` and this inverse maps ``None`` back.
+        """
+        fields = {f: payload[f] for f in cls.__dataclass_fields__}
+        for name in cls._NULLABLE_FLOATS:
+            if fields[name] is None:
+                fields[name] = float("nan")
+        return cls(**fields)
 
     def to_dict(self) -> Dict:
         """JSON-safe payload (inverse of :meth:`from_dict`)."""
@@ -225,9 +252,26 @@ class StatsSummary:
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean (used for Fig. 7 cross-workload summaries)."""
+    """Geometric mean (used for Fig. 7 cross-workload summaries).
+
+    Returns NaN (with a :class:`RuntimeWarning`) for an empty sequence or
+    any non-positive/non-finite input instead of raising: a saturated or
+    zero-delivery sweep cell yields NaN/0 ratios, and one bad cell should
+    degrade the cross-workload summary, not crash the whole report.
+    Callers that want hard failures can check ``math.isnan`` on the
+    result."""
     if not values:
-        raise ValueError("geomean of empty sequence")
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
+        warnings.warn(
+            "geomean of empty sequence is NaN", RuntimeWarning, stacklevel=2
+        )
+        return float("nan")
+    bad = [v for v in values if not math.isfinite(v) or v <= 0]
+    if bad:
+        warnings.warn(
+            f"geomean undefined for non-positive/non-finite values {bad!r}; "
+            "returning NaN",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return float("nan")
     return math.exp(sum(math.log(v) for v in values) / len(values))

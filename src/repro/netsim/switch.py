@@ -85,6 +85,7 @@ class OutputPort:
         "target_buffer",
         "deliver_fn",
         "queued_bytes",
+        "stall_hook",
     )
 
     def __init__(
@@ -106,6 +107,10 @@ class OutputPort:
         self.target_buffer: Optional[VCBuffer] = None
         self.deliver_fn: Optional[Callable[[Packet, float], None]] = None
         self.queued_bytes = 0
+        # Observability hook (installed by NetworkSimulator._install_obs):
+        # stall_hook(packet) fires when the head packet lacks downstream
+        # credit.  Passive -- must not touch port or buffer state.
+        self.stall_hook: Optional[Callable[[Packet], None]] = None
 
     def connect_switch(self, switch: "Switch", buffer: VCBuffer) -> None:
         """Point this port at a downstream switch's input buffer."""
@@ -139,6 +144,8 @@ class OutputPort:
         packet, _release = self.queue[0]
         if self.target_buffer is not None:
             if not self.target_buffer.has_room(packet.vc, packet.size_bytes):
+                if self.stall_hook is not None:
+                    self.stall_hook(packet)
                 self.target_buffer.add_waiter(self)
                 return
             self.target_buffer.reserve(packet.vc, packet.size_bytes)
@@ -192,6 +199,7 @@ class Switch:
         "fault_hook",
         "extra_latency_fn",
         "drop_fn",
+        "arrival_hook",
     )
 
     def __init__(
@@ -211,10 +219,15 @@ class Switch:
         # Fault-injection hooks (installed by NetworkSimulator.attach_faults):
         # fault_hook(switch, packet) -> True drops the packet at this switch,
         # extra_latency_fn(switch) widens the pipeline latency (slow-gate
-        # drift), drop_fn(packet) reports the terminal loss to the network.
+        # drift), drop_fn(packet, switch) reports the terminal loss (with
+        # its location, for per-switch attribution) to the network.
         self.fault_hook: Optional[Callable[["Switch", Packet], bool]] = None
         self.extra_latency_fn: Optional[Callable[["Switch"], float]] = None
-        self.drop_fn: Optional[Callable[[Packet], None]] = None
+        self.drop_fn: Optional[Callable[[Packet, "Switch"], None]] = None
+        # Observability hook (installed by NetworkSimulator._install_obs):
+        # arrival_hook(switch, packet) fires on every header arrival.
+        # Passive -- must not touch switch, packet, or buffer state.
+        self.arrival_hook: Optional[Callable[["Switch", Packet], None]] = None
 
     def add_port(self, rate_gbps: float, link_delay_ns: float) -> OutputPort:
         """Create and register a new output port."""
@@ -225,6 +238,8 @@ class Switch:
     def on_head_arrival(self, packet: Packet, in_buffer: VCBuffer) -> None:
         """A packet header has arrived; route it after the pipeline delay."""
         packet.hops += 1
+        if self.arrival_hook is not None:
+            self.arrival_hook(self, packet)
         latency = self.latency_ns
         if self.extra_latency_fn is not None:
             latency += self.extra_latency_fn(self)
@@ -239,7 +254,7 @@ class Switch:
             if in_buffer is not None:
                 in_buffer.release(packet.vc, packet.size_bytes, self.env.now)
             if self.drop_fn is not None:
-                self.drop_fn(packet)
+                self.drop_fn(packet, self)
             return
         if self.route_fn is None:
             raise ConfigurationError(f"switch {self.sid} has no routing")

@@ -1,0 +1,72 @@
+"""Failure-artifact registry: export traces/metrics when a test fails.
+
+Tests (or any driver) register live :class:`~repro.obs.Tracer` /
+:class:`~repro.obs.MetricsRegistry` objects here; the pytest hook in
+``tests/conftest.py`` calls :func:`export_all` when a test fails, dumping
+each registered object as JSONL under ``$REPRO_TEST_ARTIFACTS_DIR``
+(default ``test-artifacts/``).  CI uploads that directory on failed runs,
+so a red build ships the packet-level evidence needed to diagnose it.
+
+The registry is process-global and cleared between tests; anything that
+exposes ``to_jsonl(path)`` can be registered.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["register", "clear", "pending", "export_all", "artifacts_dir"]
+
+ARTIFACTS_DIR_ENV = "REPRO_TEST_ARTIFACTS_DIR"
+"""Environment override for where failure artifacts are written."""
+
+_PENDING: Dict[str, object] = {}
+
+
+def register(label: str, exporter) -> None:
+    """Register an object with a ``to_jsonl(path)`` method for export.
+
+    Re-registering a label replaces the previous object (a test loop can
+    keep registering its latest tracer).
+    """
+    _PENDING[label] = exporter
+
+
+def clear() -> None:
+    """Drop every registered exporter (called between tests)."""
+    _PENDING.clear()
+
+
+def pending() -> Dict[str, object]:
+    """A snapshot of the currently registered exporters."""
+    return dict(_PENDING)
+
+
+def artifacts_dir() -> Path:
+    """Where failure artifacts go (env override or ``test-artifacts/``)."""
+    return Path(os.environ.get(ARTIFACTS_DIR_ENV, "test-artifacts"))
+
+
+def _safe(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")[:150]
+
+
+def export_all(context: str, directory=None) -> List[Path]:
+    """Export every registered object as ``<context>--<label>.jsonl``.
+
+    Returns the written paths (empty if nothing is registered -- the
+    common case, so failures without observability stay cheap).
+    """
+    if not _PENDING:
+        return []
+    root = Path(directory) if directory is not None else artifacts_dir()
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for label, exporter in _PENDING.items():
+        path = root / f"{_safe(context)}--{_safe(label)}.jsonl"
+        exporter.to_jsonl(path)
+        written.append(path)
+    return written

@@ -1,0 +1,293 @@
+"""Packet lifecycle tracing: ring-buffered typed events with JSONL export.
+
+A :class:`Tracer` is attached to any network via
+:meth:`~repro.netsim.network.NetworkSimulator.attach_tracer` (the same
+plumbing pattern as ``attach_faults``).  Once attached, the simulator
+records one :class:`TraceEvent` per lifecycle transition:
+
+========================  =====================================================
+event type                emitted when
+========================  =====================================================
+``inject``                a data packet enters its source NIC queue
+``stage_arrival``         a packet header reaches a switch
+``arb_win``               Baldur arbitration grants an output port
+``arb_loss``              Baldur arbitration finds no free port
+``drop``                  a packet is discarded in-network
+``credit_stall``          an electrical output port stalls on downstream credit
+``ack``                   an ACK is sent by a receiver / consumed by a source
+``retransmit``            a source times out and re-sends a data packet
+``deliver``               the last byte reaches the destination host
+``give_up``               a source abandons a packet after max retries
+========================  =====================================================
+
+Events live in a bounded ring buffer (old events are evicted once
+``capacity`` is exceeded), but per-type counts in :attr:`Tracer.counts`
+cover the *whole* run regardless of eviction, so conservation cross-checks
+against :meth:`LatencyStats.conservation` stay exact.
+
+Tracing is strictly passive: it draws no random numbers and never touches
+simulation state, so attaching a tracer cannot perturb results (the
+determinism suite pins this).  With no tracer attached the simulators only
+pay a ``is None`` check per hook site -- no event objects are allocated.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TraceEvent", "Tracer", "format_timeline"]
+
+DEFAULT_CAPACITY = 65536
+"""Default ring-buffer size (events, not bytes)."""
+
+EVENT_TYPES = (
+    "inject",
+    "stage_arrival",
+    "arb_win",
+    "arb_loss",
+    "drop",
+    "credit_stall",
+    "ack",
+    "retransmit",
+    "deliver",
+    "give_up",
+)
+"""Every event type a simulator may record (the JSONL schema's ``type``)."""
+
+
+class TraceEvent:
+    """One timestamped lifecycle event of one packet."""
+
+    __slots__ = (
+        "t", "etype", "pid", "src", "dst", "is_ack", "switch", "stage",
+        "port", "acked", "note",
+    )
+
+    def __init__(
+        self,
+        t: float,
+        etype: str,
+        pid: Optional[int] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        is_ack: bool = False,
+        switch: Optional[int] = None,
+        stage=None,
+        port: Optional[int] = None,
+        acked: Optional[Sequence[int]] = None,
+        note: Optional[str] = None,
+    ):
+        self.t = t
+        self.etype = etype
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.is_ack = is_ack
+        self.switch = switch
+        self.stage = stage
+        self.port = port
+        self.acked = tuple(acked) if acked is not None else None
+        self.note = note
+
+    def to_dict(self) -> Dict:
+        """JSON-safe payload; ``None`` fields are omitted for compactness."""
+        payload: Dict = {"t": self.t, "type": self.etype}
+        for field in ("pid", "src", "dst", "switch", "stage", "port", "note"):
+            value = getattr(self, field)
+            if value is not None:
+                payload[field] = value
+        if self.is_ack:
+            payload["is_ack"] = True
+        if self.acked is not None:
+            payload["acked"] = list(self.acked)
+        return payload
+
+    def concerns(self, pid: int) -> bool:
+        """True if this event belongs to packet ``pid``'s flow (its own
+        lifecycle events plus any ACK that covers it)."""
+        if self.pid == pid:
+            return True
+        return self.acked is not None and pid in self.acked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceEvent {self.etype} t={self.t} pid={self.pid}>"
+
+
+class Tracer:
+    """Ring-buffered recorder of :class:`TraceEvent` objects."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ConfigurationError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.recorded = 0
+        self.counts: Dict[str, int] = {}
+
+    # -- recording (the simulator-facing API) -------------------------------
+
+    def record(
+        self,
+        t: float,
+        etype: str,
+        packet=None,
+        switch: Optional[int] = None,
+        stage=None,
+        port: Optional[int] = None,
+        acked: Optional[Sequence[int]] = None,
+        note: Optional[str] = None,
+    ) -> None:
+        """Record one event, pulling endpoint fields off ``packet``."""
+        if packet is not None:
+            event = TraceEvent(
+                t, etype, pid=packet.pid, src=packet.src, dst=packet.dst,
+                is_ack=packet.is_ack, switch=switch, stage=stage, port=port,
+                acked=acked, note=note,
+            )
+        else:
+            event = TraceEvent(
+                t, etype, switch=switch, stage=stage, port=port,
+                acked=acked, note=note,
+            )
+        self._ring.append(event)
+        self.recorded += 1
+        self.counts[etype] = self.counts.get(etype, 0) + 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (ring eviction applies)."""
+        return list(self._ring)
+
+    @property
+    def evicted(self) -> int:
+        """How many events the ring buffer has discarded."""
+        return self.recorded - len(self._ring)
+
+    def count(self, etype: str) -> int:
+        """Whole-run count of one event type (eviction-proof)."""
+        return self.counts.get(etype, 0)
+
+    def flow(self, pid: int) -> List[TraceEvent]:
+        """Every retained event of packet ``pid``'s flow, in time order."""
+        return [e for e in self._ring if e.concerns(pid)]
+
+    def pick_flow(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> Optional[int]:
+        """Choose a pid worth replaying: prefers a flow that saw drops or
+        retransmissions (the interesting case), else a delivered flow,
+        else any injected flow.  ``src``/``dst`` restrict the candidates.
+        """
+        injected: List[int] = []
+        eventful = set()
+        delivered = set()
+        for event in self._ring:
+            if event.pid is None or event.is_ack:
+                continue
+            if src is not None and event.src != src:
+                continue
+            if dst is not None and event.dst != dst:
+                continue
+            if event.etype == "inject":
+                injected.append(event.pid)
+            elif event.etype in ("drop", "retransmit", "give_up"):
+                eventful.add(event.pid)
+            elif event.etype == "deliver":
+                delivered.add(event.pid)
+        for pid in injected:
+            if pid in eventful and pid in delivered:
+                return pid
+        for pid in injected:
+            if pid in eventful:
+                return pid
+        for pid in injected:
+            if pid in delivered:
+                return pid
+        return injected[0] if injected else None
+
+    # -- export -------------------------------------------------------------
+
+    def to_jsonl(self, target) -> int:
+        """Write retained events as JSON Lines; returns the line count.
+
+        ``target`` is a path or an open text file.  One event per line,
+        keys sorted -- the file is deterministic for a deterministic run.
+        """
+        events = self.events
+        if hasattr(target, "write"):
+            for event in events:
+                target.write(json.dumps(event.to_dict(), sort_keys=True))
+                target.write("\n")
+        else:
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                return self.to_jsonl(fh)
+        return len(events)
+
+    def digest(self) -> str:
+        """SHA-256 over the retained event stream (trace-equality checks)."""
+        hasher = sha256()
+        for event in self._ring:
+            hasher.update(
+                json.dumps(event.to_dict(), sort_keys=True).encode()
+            )
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def summary(self) -> Dict:
+        """JSON-safe rollup: whole-run counts plus ring/digest metadata."""
+        return {
+            "recorded": self.recorded,
+            "retained": len(self._ring),
+            "evicted": self.evicted,
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+            "digest": self.digest(),
+        }
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        top = ", ".join(
+            f"{k}={self.counts[k]}" for k in sorted(self.counts)
+        )
+        return f"Tracer({self.recorded} events: {top})"
+
+
+def format_timeline(events: Sequence[TraceEvent]) -> List[str]:
+    """Render one flow's events as human-readable timeline lines.
+
+    Timestamps are printed relative to the first event so a replay reads
+    as elapsed time along the flow's life.
+    """
+    if not events:
+        return ["(no events)"]
+    t0 = events[0].t
+    lines = []
+    for event in events:
+        parts = [f"+{event.t - t0:>12.2f}ns", f"{event.etype:<13}"]
+        if event.pid is not None:
+            kind = "ack" if event.is_ack else "pkt"
+            parts.append(f"{kind} {event.pid} {event.src}->{event.dst}")
+        if event.switch is not None:
+            loc = f"switch {event.switch}"
+            if event.stage is not None:
+                loc += f" (stage {event.stage})"
+            parts.append(loc)
+        if event.port is not None:
+            parts.append(f"port {event.port}")
+        if event.acked is not None:
+            parts.append(f"acks {list(event.acked)}")
+        if event.note:
+            parts.append(f"[{event.note}]")
+        lines.append("  ".join(parts))
+    return lines

@@ -18,33 +18,62 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import repro
-from repro.runner.spec import Job, canonical_json
+from repro.runner.spec import Job, canonical_json, json_safe
 
 __all__ = ["ResultCache", "code_fingerprint", "result_digest"]
 
-_FINGERPRINT: Optional[str] = None
+# Memoized fingerprints keyed by tree root; the value pairs a cheap
+# stat() snapshot of the tree with the content hash it produced, so the
+# memo self-invalidates when any source file changes (a once-per-process
+# global would serve stale fingerprints to long-lived processes -- REPL
+# sessions, notebook kernels -- that edit code between sweeps).
+_Snapshot = Tuple[Tuple[str, int, int], ...]
+_FINGERPRINT_CACHE: Dict[Path, Tuple[_Snapshot, str]] = {}
 
 
-def code_fingerprint() -> str:
+def _tree_snapshot(root: Path) -> _Snapshot:
+    """(relative path, mtime_ns, size) of every source file under root."""
+    return tuple(
+        (
+            path.relative_to(root).as_posix(),
+            path.stat().st_mtime_ns,
+            path.stat().st_size,
+        )
+        for path in sorted(root.rglob("*.py"))
+    )
+
+
+def code_fingerprint(root=None) -> str:
     """SHA-256 over every ``repro`` source file (path + contents).
 
-    Computed once per process; invalidates every cache entry whenever any
-    simulator code changes, which is the conservative notion of "same
-    experiment" a regression-safe cache needs.
+    Invalidates every cache entry whenever any simulator code changes,
+    which is the conservative notion of "same experiment" a
+    regression-safe cache needs.  The hash is memoized against a
+    stat-level snapshot (file set, mtimes, sizes): unchanged trees reuse
+    the memo, while any edit -- even mid-process -- recomputes the
+    fingerprint.  ``root`` defaults to the installed ``repro`` package
+    (overridable for tests).
     """
-    global _FINGERPRINT
-    if _FINGERPRINT is None:
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(path.relative_to(root).as_posix().encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-        _FINGERPRINT = digest.hexdigest()
-    return _FINGERPRINT
+    root = (
+        Path(root).resolve()
+        if root is not None
+        else Path(repro.__file__).resolve().parent
+    )
+    snapshot = _tree_snapshot(root)
+    cached = _FINGERPRINT_CACHE.get(root)
+    if cached is not None and cached[0] == snapshot:
+        return cached[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    fingerprint = digest.hexdigest()
+    _FINGERPRINT_CACHE[root] = (snapshot, fingerprint)
+    return fingerprint
 
 
 def result_digest(result: Any) -> str:
@@ -107,10 +136,14 @@ class ResultCache:
             "key": job.key,
             "params": dict(job.params),
             "digest": result_digest(result),
-            "result": result,
+            # Sanitized so the entry file is valid RFC 8259 JSON (NaN
+            # latencies become null) and reads return exactly what a
+            # canonical_json round-trip of the result would.
+            "result": json_safe(result),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1),
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1,
+                                  allow_nan=False),
                        encoding="utf-8")
         os.replace(tmp, path)
         return path

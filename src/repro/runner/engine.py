@@ -113,6 +113,17 @@ class SweepResult:
             level[outcome.job.params[names[-1]]] = value(outcome.result)
         return nested
 
+    def obs(self) -> Dict[str, Dict[str, Any]]:
+        """Observability rollups by job key (jobs run with ``obs`` set).
+
+        Empty when the sweep ran without observability -- the common case.
+        """
+        return {
+            outcome.job.key: outcome.result["obs"]
+            for outcome in self.outcomes
+            if isinstance(outcome.result, dict) and "obs" in outcome.result
+        }
+
     def to_json(self) -> str:
         """Canonical results document: deterministic for a given spec,
         root seed, and code version -- independent of worker count,

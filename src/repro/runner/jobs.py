@@ -26,10 +26,48 @@ def _summary(stats) -> Dict[str, Any]:
     return StatsSummary.from_stats(stats).to_dict()
 
 
+def _make_obs(params: Mapping[str, Any]):
+    """Build (tracer, metrics) from a spec's optional ``obs`` parameter.
+
+    ``obs`` is a JSON-safe dict -- ``{"trace": true, "trace_capacity": N,
+    "metrics": true, "window_ns": W}`` -- so it participates in job keys
+    and cache hashing like any other parameter.  Absent or falsy means no
+    observability: the simulators keep their zero-overhead hot path and
+    results stay byte-identical to un-instrumented runs.
+    """
+    obs = params.get("obs") or {}
+    tracer = metrics = None
+    if obs.get("trace"):
+        from repro.obs import Tracer
+        from repro.obs.tracer import DEFAULT_CAPACITY
+
+        tracer = Tracer(
+            capacity=obs.get("trace_capacity") or DEFAULT_CAPACITY
+        )
+    if obs.get("metrics"):
+        from repro.obs import MetricsRegistry
+        from repro.obs.metrics import DEFAULT_WINDOW_NS
+
+        metrics = MetricsRegistry(
+            window_ns=obs.get("window_ns") or DEFAULT_WINDOW_NS
+        )
+    return tracer, metrics
+
+
+def _attach_obs_result(result: Dict[str, Any], tracer, metrics) -> Dict[str, Any]:
+    """Embed the deterministic observability rollup, if any was collected."""
+    if tracer is not None or metrics is not None:
+        from repro.obs import obs_payload
+
+        result["obs"] = obs_payload(tracer=tracer, metrics=metrics)
+    return result
+
+
 def _execute_open_loop(params: Mapping[str, Any]) -> Dict[str, Any]:
     """One open-loop cell (a point of Fig. 6 / the hotspot column)."""
     from repro.analysis.experiments import run_open_loop
 
+    tracer, metrics = _make_obs(params)
     stats = run_open_loop(
         params["network"],
         params["n_nodes"],
@@ -38,8 +76,10 @@ def _execute_open_loop(params: Mapping[str, Any]) -> Dict[str, Any]:
         params["packets_per_node"],
         seed=params["seed"],
         until=params["until"],
+        tracer=tracer,
+        metrics=metrics,
     )
-    return _summary(stats)
+    return _attach_obs_result(_summary(stats), tracer, metrics)
 
 
 def _execute_workload(params: Mapping[str, Any]) -> Dict[str, Any]:

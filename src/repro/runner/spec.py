@@ -16,16 +16,35 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.rand import derive_seed
 
-__all__ = ["Job", "SweepSpec", "canonical_json"]
+__all__ = ["Job", "SweepSpec", "canonical_json", "json_safe"]
 
 RESERVED_PARAMS = ("seed",)
 """Parameter names injected by the expansion; specs may not define them."""
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None`` (JSON null).
+
+    RFC 8259 has no NaN/Infinity literals; Python's ``json`` emits them
+    by default, silently producing files other tools reject.  A run with
+    zero deliveries reports NaN latencies, so result payloads must pass
+    through this before serialization.  Tuples become lists (matching
+    what a JSON round-trip produces anyway).
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
 
 
 def canonical_json(value: Any) -> str:
@@ -33,8 +52,14 @@ def canonical_json(value: Any) -> str:
 
     Two structurally equal values always serialize to the same bytes, so
     this is the basis for job hashing and byte-identical results files.
+    Strictly RFC 8259: non-finite floats serialize as ``null`` (via
+    :func:`json_safe`), and ``allow_nan=False`` guarantees no
+    ``NaN``/``Infinity`` literal can ever leak into output.
     """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        json_safe(value), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
 
 
 @dataclass(frozen=True)

@@ -270,11 +270,37 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list = []
         self._counter = itertools.count()
+        # Opt-in kernel profiling (repro.obs.KernelProfile); None keeps the
+        # dispatch loop on its unobserved fast path.
+        self._profile = None
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def profile(self):
+        """The attached :class:`~repro.obs.KernelProfile`, or ``None``."""
+        return self._profile
+
+    def enable_profiling(self):
+        """Attach (and return) a kernel profile counting every dispatch.
+
+        Idempotent: repeated calls return the same profile.  Profiling
+        observes the kernel only -- it cannot change event order or
+        simulation results (wall times are reported, never consumed).
+        """
+        if self._profile is None:
+            from repro.obs.profile import KernelProfile
+
+            self._profile = KernelProfile()
+        return self._profile
+
+    def disable_profiling(self):
+        """Detach the kernel profile (returns it for final inspection)."""
+        profile, self._profile = self._profile, None
+        return profile
 
     # -- callback style ----------------------------------------------------
 
@@ -328,7 +354,10 @@ class Environment:
         """Process the single next scheduled item."""
         when, _, fn, args = heapq.heappop(self._queue)
         self._now = when
-        fn(*args)
+        if self._profile is None:
+            fn(*args)
+        else:
+            self._profile.dispatch(fn, args, len(self._queue) + 1)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue empties, or until simulation time ``until``.

@@ -1,0 +1,36 @@
+"""Shared pytest plumbing: export observability artifacts on failure.
+
+Tests that drive a simulator with a tracer or metrics registry attached
+can ``repro.obs.artifacts.register(...)`` the live objects; if the test
+then fails, the hook below dumps each one as JSONL under
+``$REPRO_TEST_ARTIFACTS_DIR`` (default ``test-artifacts/``) so CI can
+upload packet-level evidence alongside the red build.
+"""
+
+import pytest
+
+from repro.obs import artifacts as obs_artifacts
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_artifact_registry():
+    """The artifact registry is process-global; isolate it per test."""
+    obs_artifacts.clear()
+    yield
+    obs_artifacts.clear()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    written = obs_artifacts.export_all(item.nodeid)
+    if written:
+        report.sections.append(
+            (
+                "observability artifacts",
+                "\n".join(str(path) for path in written),
+            )
+        )

@@ -15,6 +15,7 @@ class TestParser:
         assert set(sub.choices) == {
             "table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "drop-model", "packaging", "awgr", "diagnose", "resilience",
+            "trace",
         }
 
     def test_requires_subcommand(self):
@@ -92,6 +93,39 @@ class TestCommands:
             "--failures", "1", "--mtbf", "200000", "--mttr", "50000",
         ]) == 0
         assert "chaos" in capsys.readouterr().out
+
+    def test_trace_baldur_replays_a_flow(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--nodes", "16", "--packets", "5",
+            "--load", "0.9", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "inject" in printed and "deliver" in printed
+        assert "Tracer(" in printed
+        lines = out.read_text().splitlines()
+        assert lines  # exported JSONL is non-empty...
+        import json
+        assert all("type" in json.loads(line) for line in lines)
+
+    def test_trace_electrical_with_metrics_export(self, tmp_path, capsys):
+        metrics_out = tmp_path / "metrics.jsonl"
+        assert main([
+            "trace", "--network", "multibutterfly", "--nodes", "16",
+            "--packets", "5", "--metrics-out", str(metrics_out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "stage_arrival" in printed
+        import json
+        rows = [json.loads(line)
+                for line in metrics_out.read_text().splitlines()]
+        assert any(row["metric"] == "arrivals" for row in rows)
+
+    def test_trace_unknown_pid_fails_cleanly(self, capsys):
+        assert main([
+            "trace", "--nodes", "16", "--packets", "2", "--pid", "999999",
+        ]) != 0
+        assert "no trace events" in capsys.readouterr().out
 
     def test_fig6_multi_load_renders_ascii_plot(self, capsys):
         assert main([

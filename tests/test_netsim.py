@@ -1,5 +1,7 @@
 """Tests for the packet-level substrate: packets, stats, ports, buffers."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -76,10 +78,18 @@ class TestLatencyStats:
 
     def test_geomean(self):
         assert geomean([1.0, 100.0]) == pytest.approx(10.0)
-        with pytest.raises(ValueError):
-            geomean([])
-        with pytest.raises(ValueError):
-            geomean([1.0, 0.0])
+
+    def test_geomean_degrades_to_nan_with_warning(self):
+        # Empty/zero/NaN inputs degrade to NaN (one bad sweep cell must
+        # not crash a whole report) and warn so they are not silent.
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(geomean([]))
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(geomean([1.0, 0.0]))
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(geomean([1.0, -2.0]))
+        with pytest.warns(RuntimeWarning):
+            assert math.isnan(geomean([1.0, float("nan")]))
 
 
 class TestVCBuffer:

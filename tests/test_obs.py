@@ -1,0 +1,389 @@
+"""Tests for the observability plane: tracing, metrics, kernel profiling.
+
+Three contracts are pinned here:
+
+* **conservation agreement** -- whole-run trace counts must match the
+  stats ledger exactly (inject == injected, deliver == delivered, ...);
+* **passivity** -- attaching a tracer/metrics/profile never changes
+  simulation results (latency digests are byte-identical);
+* **zero overhead when disabled** -- with nothing attached, no trace
+  event objects are allocated at all.
+"""
+
+import json
+
+import pytest
+
+from repro.core.baldur_network import BaldurNetwork
+from repro.electrical import MultiButterflyNetwork
+from repro.errors import ConfigurationError
+from repro.faults import FailStop, FaultInjector
+from repro.netsim.packet import Packet
+from repro.netsim.stats import StatsSummary
+from repro.netsim.switch import OutputPort, Switch, VCBuffer
+from repro.obs import (
+    KernelProfile,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    format_timeline,
+    obs_payload,
+)
+from repro.obs import artifacts as obs_artifacts
+from repro.sim import Environment
+from repro.traffic import inject_open_loop, transpose
+
+
+def run_baldur(n_nodes=16, multiplicity=1, load=0.9, packets=10, seed=3,
+               tracer=None, metrics=None):
+    """A drop-heavy Baldur run (m=1 transpose) with optional observers."""
+    net = BaldurNetwork(n_nodes, multiplicity=multiplicity, seed=seed)
+    if tracer is not None:
+        net.attach_tracer(tracer)
+    if metrics is not None:
+        net.attach_metrics(metrics)
+    inject_open_loop(net, transpose(n_nodes), load, packets, seed=seed)
+    stats = net.run()
+    return net, stats
+
+
+class TestTracer:
+    def test_ring_eviction_keeps_whole_run_counts(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.record(float(i), "inject")
+        assert tracer.recorded == 10
+        assert len(tracer.events) == 4
+        assert tracer.evicted == 6
+        # counts are eviction-proof: they cover the whole run.
+        assert tracer.count("inject") == 10
+        assert [e.t for e in tracer.events] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+    def test_flow_includes_covering_acks(self):
+        tracer = Tracer()
+        data = Packet(pid=5, src=0, dst=1, size_bytes=256, create_time=0.0)
+        ack = Packet(pid=9, src=1, dst=0, size_bytes=8, create_time=2.0,
+                     is_ack=True, acked_pid=(5,))
+        tracer.record(0.0, "inject", data)
+        tracer.record(1.0, "deliver", data)
+        tracer.record(2.0, "ack", ack, acked=(5,))
+        tracer.record(3.0, "inject",
+                      Packet(pid=6, src=2, dst=3, size_bytes=256,
+                             create_time=3.0))
+        flow = tracer.flow(5)
+        assert [e.etype for e in flow] == ["inject", "deliver", "ack"]
+
+    def test_pick_flow_prefers_eventful_flows(self):
+        tracer = Tracer()
+        boring = Packet(pid=1, src=0, dst=1, size_bytes=256, create_time=0.0)
+        eventful = Packet(pid=2, src=2, dst=3, size_bytes=256,
+                          create_time=0.0)
+        tracer.record(0.0, "inject", boring)
+        tracer.record(1.0, "deliver", boring)
+        tracer.record(0.0, "inject", eventful)
+        tracer.record(1.0, "drop", eventful)
+        tracer.record(2.0, "retransmit", eventful)
+        tracer.record(3.0, "deliver", eventful)
+        assert tracer.pick_flow() == 2
+        assert tracer.pick_flow(src=0) == 1
+        assert tracer.pick_flow(src=99) is None
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        tracer = Tracer()
+        pkt = Packet(pid=7, src=1, dst=2, size_bytes=256, create_time=0.0)
+        tracer.record(0.0, "inject", pkt)
+        tracer.record(5.0, "stage_arrival", pkt, switch=3, stage=0)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.to_jsonl(path) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"t": 0.0, "type": "inject", "pid": 7,
+                            "src": 1, "dst": 2}
+        assert lines[1]["switch"] == 3 and lines[1]["stage"] == 0
+
+    def test_format_timeline_is_relative_and_readable(self):
+        tracer = Tracer()
+        pkt = Packet(pid=7, src=1, dst=2, size_bytes=256, create_time=0.0)
+        tracer.record(100.0, "inject", pkt)
+        tracer.record(150.0, "arb_win", pkt, switch=3, stage=0, port=2)
+        lines = format_timeline(tracer.events)
+        assert "+        0.00ns" in lines[0]
+        assert "pkt 7 1->2" in lines[0]
+        assert "switch 3 (stage 0)" in lines[1] and "port 2" in lines[1]
+        assert format_timeline([]) == ["(no events)"]
+
+
+class TestMetrics:
+    def test_windowed_counters_and_gauges(self):
+        reg = MetricsRegistry(window_ns=100.0)
+        reg.incr("drops", 3, t=50.0)
+        reg.incr("drops", 3, t=60.0)
+        reg.incr("drops", 3, t=150.0)
+        reg.observe_max("occ", 3, t=10.0, value=4.0)
+        reg.observe_max("occ", 3, t=20.0, value=2.0)
+        assert reg.series("drops", 3) == [(0, 2), (1, 1)]
+        assert reg.totals("drops") == {3: 3}
+        assert reg.peaks("occ") == {3: 4.0}
+        assert reg.metrics == ["drops", "occ"]
+
+    def test_hotspots_ranked_by_total(self):
+        reg = MetricsRegistry()
+        for sid, n in ((1, 5), (2, 9), (3, 1)):
+            for _ in range(n):
+                reg.incr("drops", sid, t=0.0)
+        assert reg.hotspots("drops", top=2) == [(2, 9), (1, 5)]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry(window_ns=0)
+
+    def test_rollup_and_jsonl_are_json_safe(self, tmp_path):
+        reg = MetricsRegistry(window_ns=100.0)
+        reg.incr("drops", 3, t=50.0)
+        reg.observe_max("occ", 1, t=10.0, value=4.0)
+        rollup = reg.rollup()
+        json.dumps(rollup, allow_nan=False)  # must not raise
+        assert rollup["counters"]["drops"]["3"]["total"] == 1
+        assert rollup["gauges"]["occ"]["1"]["peak"] == 4.0
+        path = tmp_path / "metrics.jsonl"
+        assert reg.to_jsonl(path) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["kind"] == "counter" and rows[0]["metric"] == "drops"
+        assert rows[1]["kind"] == "gauge" and rows[1]["t_start_ns"] == 0.0
+
+
+class TestConservationAgreement:
+    def test_baldur_trace_counts_match_stats_ledger(self):
+        tracer = Tracer()
+        net, stats = run_baldur(tracer=tracer)
+        net.audit()  # conservation must hold with tracing attached
+        assert stats.drops > 0 and stats.retransmissions > 0
+        assert tracer.count("inject") == stats.injected
+        assert tracer.count("deliver") == stats.delivered
+        assert tracer.count("drop") == stats.drops + stats.ack_drops
+        assert tracer.count("retransmit") == stats.retransmissions
+        assert tracer.count("give_up") == stats.given_up
+
+    def test_baldur_ack_events_cover_sends_and_receipts(self):
+        tracer = Tracer()
+        net, stats = run_baldur(tracer=tracer)
+        sent = sum(1 for e in tracer.events
+                   if e.etype == "ack" and e.note == "sent")
+        received = sum(1 for e in tracer.events
+                       if e.etype == "ack" and e.note == "received")
+        assert sent == net.acks_sent
+        # Each ACK is received at most once (drops eat the rest).
+        assert received <= sent
+
+    def test_baldur_metrics_drops_match_stats(self):
+        metrics = MetricsRegistry()
+        net, stats = run_baldur(metrics=metrics)
+        total_drops = sum(metrics.totals("drops").values())
+        assert total_drops == stats.drops + stats.ack_drops
+        arrivals = sum(metrics.totals("arrivals").values())
+        assert arrivals > total_drops  # most arrivals win a port
+
+    def test_electrical_trace_counts_match_stats(self):
+        net = MultiButterflyNetwork(16, multiplicity=2, seed=1)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        net.attach_tracer(tracer)
+        net.attach_metrics(metrics)
+        inject_open_loop(net, transpose(16), 0.7, 10, seed=1)
+        stats = net.run()
+        net.audit()
+        assert tracer.count("inject") == stats.injected
+        assert tracer.count("deliver") == stats.delivered
+        # Every header arrival is observed via the switch hook.
+        assert tracer.count("stage_arrival") == sum(
+            metrics.totals("arrivals").values())
+
+    def test_fault_drops_attributed_per_switch(self):
+        net = MultiButterflyNetwork(16, multiplicity=2, seed=1)
+        victim = net.switch_ids()[len(net.switch_ids()) // 2]
+        injector = FaultInjector(seed=0)
+        injector.add(FailStop(switch_id=victim))
+        net.attach_faults(injector)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        net.attach_tracer(tracer)
+        net.attach_metrics(metrics)
+        inject_open_loop(net, transpose(16), 0.7, 10, seed=1)
+        stats = net.run()
+        assert stats.drops > 0
+        # metrics agree with the injector's own attribution, exactly.
+        assert metrics.totals("drops") == injector.drops_by_switch
+        fault_drops = [e for e in tracer.events
+                       if e.etype == "drop" and e.note == "fault"]
+        assert len(fault_drops) == stats.drops + stats.ack_drops
+        assert all(e.switch == victim for e in fault_drops)
+
+
+class TestPassivity:
+    def test_results_identical_with_and_without_observers(self):
+        _, plain = run_baldur()
+        _, observed = run_baldur(tracer=Tracer(), metrics=MetricsRegistry())
+        assert (StatsSummary.from_stats(plain)
+                == StatsSummary.from_stats(observed))
+
+    def test_no_trace_event_allocated_when_disabled(self, monkeypatch):
+        calls = {"n": 0}
+        original = TraceEvent.__init__
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(TraceEvent, "__init__", counting)
+        run_baldur()  # no tracer attached
+        assert calls["n"] == 0
+        net = MultiButterflyNetwork(16, multiplicity=2, seed=1)
+        inject_open_loop(net, transpose(16), 0.7, 5, seed=1)
+        net.run()
+        assert calls["n"] == 0
+
+    def test_detach_resets_switch_hooks(self):
+        net = MultiButterflyNetwork(16, multiplicity=2, seed=1)
+        net.attach_tracer(Tracer())
+        assert all(s.arrival_hook is not None for s in net.iter_switches())
+        net.attach_tracer(None)
+        assert all(s.arrival_hook is None for s in net.iter_switches())
+        assert all(p.stall_hook is None
+                   for s in net.iter_switches() for p in s.ports)
+
+
+class TestSwitchHooks:
+    def test_stall_hook_fires_on_credit_exhaustion(self):
+        env = Environment()
+        port = OutputPort(env, rate_gbps=50.0, link_delay_ns=10.0)
+        downstream = Switch(env, sid=7)
+        tiny = VCBuffer(capacity_bytes=300, n_vcs=3)  # 100 bytes per VC
+        port.connect_switch(downstream, tiny)
+        stalled = []
+        port.stall_hook = stalled.append
+        packet = Packet(pid=0, src=0, dst=1, size_bytes=512, create_time=0.0)
+        port.enqueue(packet, 0.0)
+        assert stalled == [packet]
+        assert port.busy is False  # the stall is passive: nothing started
+
+    def test_arrival_hook_observes_header_arrivals(self):
+        env = Environment()
+        switch = Switch(env, sid=4)
+        seen = []
+        switch.arrival_hook = lambda sw, pkt: seen.append((sw.sid, pkt.pid))
+        switch.route_fn = lambda sw, pkt: (0, 0)
+        switch.add_port(rate_gbps=50.0, link_delay_ns=10.0)
+        switch.ports[0].connect_host(lambda pkt, t: None)
+        packet = Packet(pid=9, src=0, dst=1, size_bytes=256, create_time=0.0)
+        switch.on_head_arrival(packet, None)
+        assert seen == [(4, 9)]
+
+
+class TestKernelProfile:
+    def test_profile_counts_dispatches(self):
+        env = Environment()
+        profile = env.enable_profiling()
+        assert env.enable_profiling() is profile  # idempotent
+        ticks = []
+        env.schedule(1.0, ticks.append, "a")
+        env.schedule(2.0, ticks.append, "b")
+        env.run()
+        assert ticks == ["a", "b"]
+        assert profile.events_dispatched == 2
+        assert profile.max_heap_depth >= 1
+        (name, wall, calls), = profile.hottest(top=1)
+        assert calls == 2 and wall >= 0.0
+        json.dumps(profile.summary(), allow_nan=False)
+
+    def test_profiling_does_not_change_results(self):
+        def run(profiled):
+            net = BaldurNetwork(16, multiplicity=2, seed=5)
+            if profiled:
+                net.env.enable_profiling()
+            inject_open_loop(net, transpose(16), 0.7, 5, seed=5)
+            return StatsSummary.from_stats(net.run())
+
+        assert run(False) == run(True)
+
+    def test_disable_returns_the_profile(self):
+        env = Environment()
+        profile = env.enable_profiling()
+        env.schedule(0.0, lambda: None)
+        env.run()
+        assert env.disable_profiling() is profile
+        assert env.profile is None
+        env.schedule(0.0, lambda: None)
+        env.run()
+        assert profile.events_dispatched == 1  # detached: no longer counting
+
+
+class TestSweepIntegration:
+    def test_obs_sweep_serial_matches_parallel(self, tmp_path):
+        from repro.analysis.experiments import figure6_spec
+        from repro.runner import run_sweep
+
+        spec = figure6_spec(
+            n_nodes=16, loads=(0.7,), patterns=("transpose",),
+            packets_per_node=5, networks=("baldur", "multibutterfly"),
+            obs={"trace": True, "metrics": True, "window_ns": 500.0},
+        )
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=2)
+        # Trace digests ride inside the results, so byte-equality of the
+        # canonical document pins tracer determinism across worker counts.
+        assert serial.to_json() == parallel.to_json()
+        rollups = serial.obs()
+        assert len(rollups) == 2
+        for payload in rollups.values():
+            assert payload["trace"]["counts"]["inject"] > 0
+            assert payload["metrics"]["counters"]
+            assert "profile" not in payload  # wall times never embedded
+
+    def test_obs_absent_by_default(self):
+        from repro.analysis.experiments import figure6_spec
+        from repro.runner import run_sweep
+
+        spec = figure6_spec(
+            n_nodes=16, loads=(0.7,), patterns=("transpose",),
+            packets_per_node=3, networks=("ideal",),
+        )
+        assert "obs" not in spec.payload()["fixed"]
+        sweep = run_sweep(spec)
+        assert sweep.obs() == {}
+        assert all("obs" not in r for r in sweep.results())
+
+    def test_obs_payload_shapes(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        profile = KernelProfile()
+        assert obs_payload() == {}
+        assert set(obs_payload(tracer=tracer)) == {"trace"}
+        assert set(obs_payload(tracer=tracer, metrics=metrics,
+                               profile=profile)) == {
+            "trace", "metrics", "profile"}
+
+
+class TestFailureArtifacts:
+    def test_export_all_writes_registered_jsonl(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs_artifacts.ARTIFACTS_DIR_ENV, str(tmp_path))
+        tracer = Tracer()
+        tracer.record(0.0, "inject",
+                      Packet(pid=0, src=0, dst=1, size_bytes=256,
+                             create_time=0.0))
+        obs_artifacts.register("tracer", tracer)
+        try:
+            written = obs_artifacts.export_all("tests/x.py::test_y[1]")
+        finally:
+            obs_artifacts.clear()
+        assert len(written) == 1
+        assert written[0].parent == tmp_path
+        assert written[0].suffix == ".jsonl"
+        assert json.loads(written[0].read_text().splitlines()[0])["pid"] == 0
+
+    def test_export_all_noop_when_nothing_registered(self, tmp_path):
+        obs_artifacts.clear()
+        assert obs_artifacts.export_all("ctx", directory=tmp_path) == []
+        assert list(tmp_path.iterdir()) == []

@@ -1,6 +1,7 @@
 """Tests for the sweep engine: specs, seeding, caching, execution."""
 
 import json
+import math
 import os
 
 import pytest
@@ -207,6 +208,33 @@ class TestCache:
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64
 
+    def test_fingerprint_memo_invalidates_on_source_edit(self, tmp_path):
+        # Regression: the fingerprint was once memoized per-process, so a
+        # long-lived process (REPL, notebook) that edited code between
+        # sweeps would key cache entries on a stale hash.
+        mod = tmp_path / "mod.py"
+        mod.write_text("X = 1\n")
+        os.utime(mod, ns=(1_000_000_000, 1_000_000_000))
+        first = code_fingerprint(tmp_path)
+        assert code_fingerprint(tmp_path) == first  # memo hit
+        # Same-size edit: only the mtime betrays the change.
+        mod.write_text("X = 2\n")
+        os.utime(mod, ns=(2_000_000_000, 2_000_000_000))
+        second = code_fingerprint(tmp_path)
+        assert second != first
+        # Reverting the content restores the original fingerprint even
+        # at a third mtime: the hash is content-based, only the memo
+        # keys on stat() data.
+        mod.write_text("X = 1\n")
+        os.utime(mod, ns=(3_000_000_000, 3_000_000_000))
+        assert code_fingerprint(tmp_path) == first
+
+    def test_fingerprint_sees_new_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("A = 1\n")
+        first = code_fingerprint(tmp_path)
+        (tmp_path / "b.py").write_text("B = 2\n")
+        assert code_fingerprint(tmp_path) != first
+
 
 class TestParallel:
     def test_parallel_matches_serial_bit_for_bit(self):
@@ -229,6 +257,46 @@ class TestCanonicalJson:
 
     def test_compact(self):
         assert canonical_json({"a": 1}) == '{"a":1}'
+
+    def test_nonfinite_floats_become_null(self):
+        # Python's json emits bare NaN/Infinity tokens by default, which
+        # RFC 8259 forbids and strict parsers reject.
+        doc = canonical_json({
+            "a": float("nan"),
+            "b": [1.5, float("inf")],
+            "c": (float("-inf"),),
+        })
+        assert doc == '{"a":null,"b":[1.5,null],"c":[null]}'
+
+    def test_zero_delivery_summary_round_trips_through_json(self):
+        from repro.netsim.stats import LatencyStats
+
+        stats = LatencyStats()
+        stats.record_injection()  # nothing delivered: NaN latencies
+        summary = StatsSummary.from_stats(stats)
+        doc = canonical_json(summary.to_dict())
+        assert "NaN" not in doc and "null" in doc
+        restored = StatsSummary.from_dict(json.loads(doc))
+        assert restored.injected == 1
+        assert math.isnan(restored.avg_latency_ns)
+        assert math.isnan(restored.tail_latency_ns)
+
+    def test_cache_entry_is_strict_rfc8259(self, tmp_path):
+        (job,) = small_spec(loads=(0.5,), networks=("ideal",)).expand()
+        cache = ResultCache(tmp_path)
+        key = cache.job_cache_key(job)
+        cache.put(key, job, {"avg_latency_ns": float("nan"), "delivered": 0})
+        raw = cache.entry_path(key).read_text()
+
+        def reject(token):
+            raise AssertionError(f"non-RFC 8259 token in cache entry: {token}")
+
+        entry = json.loads(raw, parse_constant=reject)
+        assert entry["result"]["avg_latency_ns"] is None
+        # The self-verifying digest matches the sanitized payload, so the
+        # entry reads back as a hit (not poison).
+        assert cache.get(key) == {"avg_latency_ns": None, "delivered": 0}
+        assert cache.poisoned == 0
 
 
 class TestCliIntegration:
