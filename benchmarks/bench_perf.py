@@ -1,0 +1,84 @@
+"""Hot-path throughput benches (the ``repro-bench perf`` suite as tests).
+
+These wrap :mod:`repro.analysis.perf` -- the same harness behind
+``repro-bench perf`` / ``BENCH_perf.json`` -- so the kernel and simulator
+throughput numbers show up alongside the figure benches.  Wall-clock
+throughput is machine-dependent: the assertions here are sanity floors
+(orders of magnitude below any real machine), not perf targets; the
+committed ``BENCH_perf.json`` at the repo root is the reference
+trajectory point.
+"""
+
+from conftest import emit
+
+from repro.analysis.perf import (
+    bench_fig6_baldur,
+    bench_kernel,
+    bench_simulator,
+    format_report,
+    run_perf_suite,
+)
+
+
+def test_kernel_throughput(benchmark):
+    result = benchmark.pedantic(
+        bench_kernel, args=(100_000,), rounds=1, iterations=1
+    )
+    emit(
+        "perf -- event-kernel throughput (100k events)",
+        f"schedule {result['schedule_ops_per_s']:,.0f} ops/s\n"
+        f"dispatch {result['dispatch_events_per_s']:,.0f} ev/s\n"
+        f"process  {result['process_events_per_s']:,.0f} ev/s",
+    )
+    assert result["dispatch_events_per_s"] > 10_000
+    assert result["schedule_ops_per_s"] > 10_000
+
+
+def test_baldur_packet_throughput(benchmark, bench_packets):
+    result = benchmark.pedantic(
+        bench_simulator,
+        args=("baldur",),
+        kwargs=dict(n_nodes=64, packets_per_node=bench_packets),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "perf -- baldur simulator throughput",
+        f"{result['packets_per_s']:,.0f} pkts/s "
+        f"({result['delivered']} delivered in {result['wall_s']:.3f}s)",
+    )
+    assert result["delivered"] > 0
+    assert result["packets_per_s"] > 100
+
+
+def test_fig6_acceptance_workload(benchmark):
+    """The hot-path acceptance workload: Baldur-only Fig. 6 sweep."""
+    result = benchmark.pedantic(
+        bench_fig6_baldur,
+        kwargs=dict(n_nodes=32, packets_per_node=8, loads=(0.7,),
+                    patterns=("transpose",)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "perf -- fig6 baldur sweep (reduced scale)",
+        f"{result['packets_per_s']:,.0f} pkts/s over {result['cells']} "
+        f"cells ({result['wall_s']:.3f}s)",
+    )
+    # Transpose skips self-sends, so delivered < nodes * ppn.
+    assert 0 < result["delivered"] <= 32 * 8
+
+
+def test_quick_suite_end_to_end(benchmark):
+    """The full --quick suite runs and formats (what the CI perf job does)."""
+    report = benchmark.pedantic(
+        run_perf_suite,
+        kwargs=dict(quick=True, networks=("baldur", "ideal")),
+        rounds=1,
+        iterations=1,
+    )
+    emit("perf -- quick suite report", format_report(report))
+    assert report["quick"] is True
+    assert set(report["simulators"]) == {"baldur", "ideal"}
+    for row in report["simulators"].values():
+        assert row["packets_per_s"] > 0

@@ -1,0 +1,360 @@
+"""Performance benchmark harness (``repro-bench perf``).
+
+The ROADMAP's north star is a system that "runs as fast as the hardware
+allows"; this module is how that is *measured*.  It times the three layers
+that dominate every figure reproduction:
+
+* **kernel** -- raw :class:`~repro.sim.Environment` throughput: schedule
+  ops/sec (heap pushes), dispatch events/sec (heap pops + callback calls),
+  and process-style events/sec (generator resume overhead);
+* **simulators** -- packets/sec for each of the five network simulators
+  under one open-loop transpose cell;
+* **fig6_baldur** -- wall time and packets/sec of the Baldur column of the
+  Fig. 6 load sweep run through the real sweep engine (the acceptance
+  workload for hot-path PRs).
+
+``run_perf_suite`` returns a JSON-safe report (commit, host, wall times,
+events/sec, packets/sec) that ``repro-bench perf`` writes to
+``BENCH_perf.json``.  Wall-clock numbers are machine-dependent and *not*
+deterministic -- the report is a trajectory artifact, never a golden.
+``compare_reports`` diffs two reports metric-by-metric so CI (and humans)
+can spot regressions; the committed ``BENCH_perf.json`` at the repo root
+is the reference trajectory point for the machine that produced it.
+
+Simulation *results* are covered elsewhere: ``tests/test_perf_identity.py``
+pins the optimized fast paths byte-identical to the instrumented slow
+paths, and ``tests/test_golden_figures.py`` pins them against committed
+reference JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "run_perf_suite",
+    "bench_kernel",
+    "bench_simulator",
+    "bench_fig6_baldur",
+    "compare_reports",
+    "format_report",
+    "format_comparison",
+    "REGRESSION_THRESHOLD",
+]
+
+REGRESSION_THRESHOLD = 0.10
+"""Relative throughput loss beyond which ``compare_reports`` flags a
+metric as a regression (CI warns but never fails on it)."""
+
+_FULL = dict(
+    kernel_events=200_000,
+    sim_nodes=64,
+    sim_packets=40,
+    fig6_nodes=64,
+    fig6_packets=20,
+    fig6_loads=(0.3, 0.7, 0.9),
+    fig6_patterns=("random_permutation", "transpose"),
+)
+_QUICK = dict(
+    kernel_events=50_000,
+    sim_nodes=32,
+    sim_packets=10,
+    fig6_nodes=32,
+    fig6_packets=8,
+    fig6_loads=(0.7,),
+    fig6_patterns=("transpose",),
+)
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+# -- kernel microbenchmarks ------------------------------------------------------
+
+
+def bench_kernel(n_events: int = 200_000) -> Dict[str, float]:
+    """Time the discrete-event kernel itself (no simulator logic).
+
+    Returns schedule ops/sec (pure heap pushes), dispatch events/sec
+    (drain of pre-scheduled no-op callbacks), and process events/sec
+    (generator-style timeout chains).
+    """
+    from repro.sim import Environment
+
+    def nop():
+        pass
+
+    # Schedule throughput: n_events pushes at distinct times.
+    env = Environment()
+    start = perf_counter()
+    schedule = env.schedule
+    for i in range(n_events):
+        schedule(float(i), nop)
+    schedule_s = perf_counter() - start
+
+    # Dispatch throughput: drain them all.
+    start = perf_counter()
+    env.run()
+    dispatch_s = perf_counter() - start
+
+    # Process-style throughput: chained timeouts (generator resumes).
+    n_proc_events = max(1, n_events // 10)
+
+    def chain(env, hops):
+        for _ in range(hops):
+            yield env.timeout(1.0)
+
+    env2 = Environment()
+    env2.process(chain(env2, n_proc_events))
+    start = perf_counter()
+    env2.run()
+    process_s = perf_counter() - start
+
+    return {
+        "n_events": n_events,
+        "schedule_wall_s": schedule_s,
+        "schedule_ops_per_s": n_events / schedule_s,
+        "dispatch_wall_s": dispatch_s,
+        "dispatch_events_per_s": n_events / dispatch_s,
+        "process_wall_s": process_s,
+        "process_events_per_s": n_proc_events / process_s,
+    }
+
+
+# -- simulator packet throughput -------------------------------------------------
+
+
+def bench_simulator(
+    name: str,
+    n_nodes: int = 64,
+    packets_per_node: int = 40,
+    load: float = 0.7,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Packets/sec for one simulator: an open-loop transpose cell.
+
+    Wall time covers network construction, injection scheduling, and the
+    full run (construction cost is part of every sweep cell, so it
+    belongs in the measurement).
+    """
+    from repro.analysis.experiments import run_open_loop
+
+    start = perf_counter()
+    stats = run_open_loop(
+        name, n_nodes, "transpose", load, packets_per_node, seed=seed
+    )
+    wall_s = perf_counter() - start
+    return {
+        "n_nodes": n_nodes,
+        "packets_per_node": packets_per_node,
+        "load": load,
+        "injected": stats.injected,
+        "delivered": stats.delivered,
+        "wall_s": wall_s,
+        "packets_per_s": stats.delivered / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+def bench_fig6_baldur(
+    n_nodes: int = 64,
+    packets_per_node: int = 20,
+    loads: Tuple[float, ...] = (0.3, 0.7, 0.9),
+    patterns: Tuple[str, ...] = ("random_permutation", "transpose"),
+    seed: int = 0,
+) -> Dict[str, float]:
+    """The acceptance workload: Baldur-only Fig. 6 sweep, serial, no cache.
+
+    Runs through the real sweep engine (``repro.runner``) so the number
+    reflects what figure regeneration actually costs end-to-end.
+    """
+    from repro.analysis.experiments import figure6_spec
+    from repro.netsim.stats import StatsSummary
+    from repro.runner import run_sweep
+
+    spec = figure6_spec(
+        n_nodes=n_nodes,
+        loads=loads,
+        patterns=patterns,
+        packets_per_node=packets_per_node,
+        networks=("baldur",),
+        seed=seed,
+    )
+    start = perf_counter()
+    sweep = run_sweep(spec, jobs=1, use_cache=False)
+    wall_s = perf_counter() - start
+    delivered = sum(
+        StatsSummary.from_dict(o.result).delivered for o in sweep.outcomes
+    )
+    return {
+        "n_nodes": n_nodes,
+        "packets_per_node": packets_per_node,
+        "cells": len(sweep.outcomes),
+        "delivered": delivered,
+        "wall_s": wall_s,
+        "packets_per_s": delivered / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+# -- the suite -------------------------------------------------------------------
+
+
+def run_perf_suite(
+    quick: bool = False,
+    networks: Tuple[str, ...] = (
+        "baldur", "multibutterfly", "dragonfly", "fattree", "ideal"
+    ),
+    seed: int = 0,
+    progress=None,
+) -> Dict:
+    """Run every perf benchmark and return the JSON-safe report.
+
+    ``quick=True`` shrinks every workload (CI-sized, <1 min); throughput
+    numbers from quick and full runs are *not* comparable to each other
+    (``compare_reports`` refuses to diff across the flag).  ``progress``
+    is an optional ``fn(str)`` called before each section.
+    """
+    cfg = _QUICK if quick else _FULL
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    say("kernel microbenchmarks")
+    kernel = bench_kernel(cfg["kernel_events"])
+
+    sims: Dict[str, Dict] = {}
+    for name in networks:
+        say(f"simulator {name}")
+        sims[name] = bench_simulator(
+            name, n_nodes=cfg["sim_nodes"],
+            packets_per_node=cfg["sim_packets"], seed=seed,
+        )
+
+    say("fig6 baldur sweep")
+    fig6 = bench_fig6_baldur(
+        n_nodes=cfg["fig6_nodes"],
+        packets_per_node=cfg["fig6_packets"],
+        loads=cfg["fig6_loads"],
+        patterns=cfg["fig6_patterns"],
+        seed=seed,
+    )
+
+    return {
+        "schema": 1,
+        "quick": quick,
+        "commit": _git_commit(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "seed": seed,
+        "kernel": kernel,
+        "simulators": sims,
+        "fig6_baldur": fig6,
+    }
+
+
+# -- reporting and comparison ----------------------------------------------------
+
+
+def _throughput_metrics(report: Dict) -> Dict[str, float]:
+    """Flatten a report to its comparable throughput metrics (higher=better)."""
+    metrics = {
+        "kernel.schedule_ops_per_s":
+            report["kernel"]["schedule_ops_per_s"],
+        "kernel.dispatch_events_per_s":
+            report["kernel"]["dispatch_events_per_s"],
+        "kernel.process_events_per_s":
+            report["kernel"]["process_events_per_s"],
+        "fig6_baldur.packets_per_s":
+            report["fig6_baldur"]["packets_per_s"],
+    }
+    for name, row in report.get("simulators", {}).items():
+        metrics[f"simulators.{name}.packets_per_s"] = row["packets_per_s"]
+    return metrics
+
+
+def compare_reports(current: Dict, baseline: Dict) -> List[Dict]:
+    """Metric-by-metric speedup of ``current`` over ``baseline``.
+
+    Returns rows ``{metric, baseline, current, speedup, regression}``
+    where ``speedup`` is current/baseline (>1 = faster) and ``regression``
+    flags a loss beyond :data:`REGRESSION_THRESHOLD`.  Raises
+    ``ValueError`` when the reports' ``quick`` flags differ (their
+    workloads are different sizes, so ratios would be meaningless).
+    """
+    if bool(current.get("quick")) != bool(baseline.get("quick")):
+        raise ValueError(
+            "cannot compare a --quick report against a full report "
+            "(different workload sizes)"
+        )
+    cur = _throughput_metrics(current)
+    base = _throughput_metrics(baseline)
+    rows = []
+    for metric in sorted(set(cur) & set(base)):
+        b, c = base[metric], cur[metric]
+        speedup = c / b if b > 0 else float("nan")
+        rows.append({
+            "metric": metric,
+            "baseline": b,
+            "current": c,
+            "speedup": speedup,
+            "regression": speedup < 1.0 - REGRESSION_THRESHOLD,
+        })
+    return rows
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable summary of one perf report."""
+    k = report["kernel"]
+    lines = [
+        f"perf report (commit {report.get('commit') or '?'}, "
+        f"python {report['python']}, "
+        f"{'quick' if report.get('quick') else 'full'})",
+        f"  kernel: schedule {k['schedule_ops_per_s']:,.0f} ops/s, "
+        f"dispatch {k['dispatch_events_per_s']:,.0f} ev/s, "
+        f"process {k['process_events_per_s']:,.0f} ev/s",
+    ]
+    for name, row in report.get("simulators", {}).items():
+        lines.append(
+            f"  {name:<16} {row['packets_per_s']:>12,.0f} pkts/s "
+            f"({row['delivered']} delivered in {row['wall_s']:.3f}s)"
+        )
+    f6 = report["fig6_baldur"]
+    lines.append(
+        f"  fig6 baldur sweep: {f6['packets_per_s']:,.0f} pkts/s over "
+        f"{f6['cells']} cells ({f6['wall_s']:.3f}s)"
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(rows: List[Dict]) -> str:
+    """Human-readable delta table from :func:`compare_reports`."""
+    lines = [
+        f"{'metric':<36} {'baseline':>14} {'current':>14} {'speedup':>8}"
+    ]
+    for row in rows:
+        flag = "  << REGRESSION" if row["regression"] else ""
+        lines.append(
+            f"{row['metric']:<36} {row['baseline']:>14,.0f} "
+            f"{row['current']:>14,.0f} {row['speedup']:>7.2f}x{flag}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Write a perf report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -23,6 +23,7 @@ Latency results account for all drop/retransmission overheads (Sec. V-B).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import constants as C
@@ -52,6 +53,53 @@ within this window share one ACK (Sec. VIII extension)."""
 
 class BaldurNetwork(NetworkSimulator):
     """Packet simulator for Baldur."""
+
+    # Every attribute read in _arrive_stage/_deliver/_transmit resolves
+    # through slots (see NetworkSimulator.__slots__).
+    __slots__ = (
+        "topology",
+        "multiplicity",
+        "link_delay_ns",
+        "link_rate_gbps",
+        "switch_latency_ns",
+        "timeout_ns",
+        "max_attempts",
+        "enable_retransmission",
+        "_rng",
+        "_beb_rng",
+        "_busy",
+        "_sps",
+        "_wiring",
+        "_bit_table",
+        "_last_stage",
+        "_randrange",
+        "_getrandbits",
+        "_hot",
+        "_nic_free_at",
+        "_entry",
+        "_pending",
+        "_delivered_pids",
+        "_retx_buffer_bytes",
+        "peak_retx_buffer_bytes",
+        "lost_packets",
+        "packet_filter",
+        "ack_coalescing",
+        "ack_coalesce_window_ns",
+        "filtered_packets",
+        "acks_sent",
+        "_pending_ack_covers",
+        "faulty_switches",
+        "test_port",
+        "_record_paths",
+        "paths",
+        "masked_switches",
+        "_given_up_pids",
+        "unreachable",
+        "_quiet",
+        "_slow_arb",
+        "_fast",
+        "_tx_cache",
+    )
 
     def __init__(
         self,
@@ -99,16 +147,55 @@ class BaldurNetwork(NetworkSimulator):
         self._rng = stream(seed, "baldur-arbitration")
         self._beb_rng = stream(seed, "baldur-beb")
 
-        # Port occupancy: _busy[(stage * sps + switch) * 2 + bit][k] is the
-        # time until which physical port k of that (switch, direction) is
-        # occupied by a streaming packet.
+        # Port occupancy, flattened into one preallocated list:
+        # _busy[((stage * sps + switch) * 2 + bit) * m + k] is the time
+        # until which physical port k of that (switch, direction) is
+        # occupied by a streaming packet.  One flat list keeps arbitration
+        # to index arithmetic (no nested-list indirection per hop).
         sps = self.topology.switches_per_stage
-        self._busy: List[List[float]] = [
-            [0.0] * multiplicity
-            for _ in range(self.topology.n_stages * sps * 2)
-        ]
+        self._busy: List[float] = (
+            [0.0] * (self.topology.n_stages * sps * 2 * multiplicity)
+        )
+        # Hot-path bindings (see _arrive_stage): per-hop method/attribute
+        # lookups resolved once here.  _wiring/_bit_table are None for
+        # topologies without those tables (e.g. Benes, whose routing_bit
+        # draws RNG and so cannot be precomputed) -- the per-hop code then
+        # falls back to the topology's methods.
+        self._sps = sps
+        self._wiring = getattr(self.topology, "wiring", None)
+        self._bit_table = getattr(self.topology, "bit_table", None)
+        self._last_stage = next(
+            s for s in range(self.topology.n_stages)
+            if self.topology.is_last_stage(s)
+        )
+        self._randrange = self._rng.randrange
+        self._getrandbits = self._rng.getrandbits
+        # All per-hop constants in one tuple: _arrive_stage unpacks it
+        # with a single attribute load instead of ~10 (everything here is
+        # immutable for the lifetime of the network; mutable/attachable
+        # state -- tracer, metrics, faults, masks -- is still read fresh
+        # from self on every call).
+        self._hot = (
+            sps,
+            self._last_stage,
+            multiplicity,
+            self._busy,
+            self._bit_table,
+            self._wiring,
+            self.switch_latency_ns,
+            self.link_delay_ns,
+            self.link_rate_gbps,
+            self._getrandbits,
+            self.env,
+        )
         # Host NICs serialize injections (data and ACKs share the NIC).
         self._nic_free_at = [0.0] * n_nodes
+        # Entry switches, precomputed: _transmit runs once per attempt of
+        # every data packet and ACK, and entry_switch() validates its
+        # argument on every call.
+        self._entry = [
+            self.topology.entry_switch(node) for node in range(n_nodes)
+        ]
         # Retransmission state.
         self._pending: Dict[int, Packet] = {}
         self._delivered_pids: Set[int] = set()
@@ -124,7 +211,7 @@ class BaldurNetwork(NetworkSimulator):
         self._pending_ack_covers: Dict[int, List[int]] = {}
         self.faulty_switches: Set[tuple] = set()
         self.test_port: Optional[int] = None
-        self.record_paths = False
+        self._record_paths = False
         self.paths: Dict[int, List[int]] = {}
         # Degraded-mode operation (Sec. IV-F): switches diagnosed as faulty
         # and masked out of routing; the m-way multiplicity routes around.
@@ -134,6 +221,60 @@ class BaldurNetwork(NetworkSimulator):
         # give-up counts for unreachable-destination reporting.
         self._given_up_pids: Set[int] = set()
         self.unreachable: Dict[Tuple[int, int], int] = {}
+        # Serialization times by packet size at the network's (fixed) link
+        # rate: first transmits and ACKs hit this dict instead of
+        # re-deriving the wire time per packet.
+        self._tx_cache: Dict[int, float] = {}
+        # _quiet/_slow_arb compress the per-hop observability and
+        # arbitration-mode checks into one read each; see
+        # _refresh_hot_flags.
+        self._refresh_hot_flags()
+
+    def _refresh_hot_flags(self) -> None:
+        """Recompute the per-hop fast-path gates.
+
+        ``_quiet`` is True when no observer/fault machinery is attached
+        (skip the whole _arrive_stage preamble); ``_slow_arb`` is True
+        when arbitration needs the explicit free-port list.  Every
+        mutation point -- attach_tracer/attach_metrics/attach_faults via
+        the _install hooks, inject_fault, mask_switch/unmask_switch,
+        enable_test_mode -- refreshes both, so the hot loop reads one
+        slot instead of five.
+        """
+        self._quiet = (
+            self.tracer is None
+            and self.metrics is None
+            and self.fault_injector is None
+            and not self.faulty_switches
+        )
+        self._slow_arb = (
+            self.test_port is not None
+            or bool(self.masked_switches)
+            or self.metrics is not None
+        )
+        # One combined gate for the hottest call: when set, _arrive_stage
+        # skips its entire preamble with a single slot read.
+        self._fast = (
+            self._quiet and not self._slow_arb and not self._record_paths
+        )
+
+    @property
+    def record_paths(self) -> bool:
+        """Whether each hop is appended to ``paths`` (diagnosis runs)."""
+        return self._record_paths
+
+    @record_paths.setter
+    def record_paths(self, value: bool) -> None:
+        self._record_paths = bool(value)
+        self._refresh_hot_flags()
+
+    def _install_obs(self) -> None:
+        super()._install_obs()
+        self._refresh_hot_flags()
+
+    def _install_faults(self) -> None:
+        super()._install_faults()
+        self._refresh_hot_flags()
 
     # -- fault injection and diagnosis support (Sec. IV-F) ------------------
 
@@ -144,6 +285,7 @@ class BaldurNetwork(NetworkSimulator):
         if not 0 <= switch < self.topology.switches_per_stage:
             raise ConfigurationError(f"switch {switch} out of range")
         self.faulty_switches.add((stage, switch))
+        self._refresh_hot_flags()
 
     def mask_switch(self, stage: int, switch: int) -> None:
         """Degraded mode (Sec. IV-F): exclude a diagnosed switch from
@@ -157,10 +299,12 @@ class BaldurNetwork(NetworkSimulator):
         if not 0 <= switch < self.topology.switches_per_stage:
             raise ConfigurationError(f"switch {switch} out of range")
         self.masked_switches.add((stage, switch))
+        self._refresh_hot_flags()
 
     def unmask_switch(self, stage: int, switch: int) -> None:
         """Return a repaired switch to service."""
         self.masked_switches.discard((stage, switch))
+        self._refresh_hot_flags()
 
     def switch_ids(self) -> List[int]:
         """Flat ids of every 2x2 switch (stage-major, as in diagnosis)."""
@@ -177,6 +321,7 @@ class BaldurNetwork(NetworkSimulator):
                 f"test port {port} out of range [0, {self.multiplicity})"
             )
         self.test_port = port
+        self._refresh_hot_flags()
 
     def flat_switch_id(self, stage: int, switch: int) -> int:
         """Flat id used in recorded paths."""
@@ -185,7 +330,8 @@ class BaldurNetwork(NetworkSimulator):
     # -- injection -----------------------------------------------------------
 
     def _inject(self, packet: Packet) -> None:
-        if self.packet_filter is not None and self.packet_filter(packet):
+        filt = self.packet_filter
+        if filt is not None and filt(packet):
             # In-network filtering (Sec. VIII): the first-stage switch
             # blocks the packet; no retransmission state is created.
             self.filtered_packets += 1
@@ -199,115 +345,226 @@ class BaldurNetwork(NetworkSimulator):
         if self.tracer is not None:
             self.tracer.record(self.env.now, "inject", packet)
         if self.enable_retransmission and not packet.is_ack:
+            src = packet.src
+            retx = self._retx_buffer_bytes
+            retx[src] += packet.size_bytes
             self._pending[packet.pid] = packet
-            self._retx_buffer_bytes[packet.src] += packet.size_bytes
-            peak = self._retx_buffer_bytes[packet.src]
-            if peak > self.peak_retx_buffer_bytes[packet.src]:
-                self.peak_retx_buffer_bytes[packet.src] = peak
-        self._transmit(packet, attempt=1)
+            peak = retx[src]
+            if peak > self.peak_retx_buffer_bytes[src]:
+                self.peak_retx_buffer_bytes[src] = peak
+        self._transmit(packet, 1)
 
     def _transmit(self, packet: Packet, attempt: int) -> None:
         """Serialize onto the source NIC and launch into stage 0."""
-        now = self.env.now
-        start = max(now, self._nic_free_at[packet.src])
-        tx = packet.serialization_time_ns(self.link_rate_gbps)
-        self._nic_free_at[packet.src] = start + tx
-        entry = self.topology.entry_switch(packet.src)
-        self.env.schedule_at(
-            start + self.link_delay_ns,
-            self._arrive_stage,
-            packet,
-            0,
-            entry,
+        env = self.env
+        now = env._now
+        src = packet.src
+        nic = self._nic_free_at
+        free_at = nic[src]
+        start = free_at if free_at > now else now
+        rate = self.link_rate_gbps
+        if packet._tx_rate == rate:
+            tx = packet._tx_ns
+        else:
+            # First transmit of this packet: take the wire time from the
+            # per-size cache (same deterministic value the packet memo
+            # would compute) and seed the memo for later hops.
+            size = packet.size_bytes
+            tx = self._tx_cache.get(size)
+            if tx is None:
+                tx = packet.serialization_time_ns(rate)
+                self._tx_cache[size] = tx
+            else:
+                packet._tx_rate = rate
+                packet._tx_ns = tx
+        nic[src] = start + tx
+        # start >= now and the offsets are non-negative model constants,
+        # so the unvalidated inline heap push (Environment._push,
+        # open-coded) is safe here.
+        queue = env._queue
+        seq = env._seq
+        heappush(
+            queue,
+            (start + self.link_delay_ns, seq,
+             self._arrive_stage, (packet, 0, self._entry[src])),
         )
         if (
             self.enable_retransmission
             and not packet.is_ack
             and attempt <= self.max_attempts
         ):
-            self.env.schedule_at(
-                start + self.timeout_ns, self._check_timeout, packet, attempt
+            heappush(
+                queue,
+                (start + self.timeout_ns, seq + 1,
+                 self._check_timeout, (packet, attempt)),
             )
+            env._seq = seq + 2
+        else:
+            env._seq = seq + 1
 
     # -- switch traversal ---------------------------------------------------------
 
     def _arrive_stage(self, packet: Packet, stage: int, switch: int) -> None:
-        """Packet header reaches (stage, switch): arbitrate and forward."""
-        now = self.env.now
-        topo = self.topology
-        if self.record_paths:
-            self.paths.setdefault(packet.pid, []).append(
-                self.flat_switch_id(stage, switch)
-            )
-        injector = self.fault_injector
-        flat = stage * topo.switches_per_stage + switch
-        if self.tracer is not None:
-            self.tracer.record(
-                now, "stage_arrival", packet, switch=flat, stage=stage
-            )
-        if self.metrics is not None:
-            self.metrics.incr("arrivals", flat, now)
-        if (stage, switch) in self.faulty_switches or (
-            injector is not None and injector.check_drop(flat, now)
-        ):
-            self._drop_in_network(packet, stage=stage, switch=switch,
-                                  note="fault")
-            return
-        bit = topo.routing_bit(packet.dst, stage)
-        last = topo.is_last_stage(stage)
-        targets = topo.next_switches(stage, switch, bit)
-        ports = self._busy[
-            (stage * topo.switches_per_stage + switch) * 2 + bit
-        ]
-        if self.test_port is not None:
-            free = [self.test_port] if ports[self.test_port] <= now else []
+        """Packet header reaches (stage, switch): arbitrate and forward.
+
+        This is the simulator's hottest function (one call per packet per
+        stage), so it is engineered as a fast/slow split (DESIGN.md
+        section 10).  The fast path -- no test mode, no masked switches,
+        no metrics -- arbitrates with an allocation-free two-pass scan of
+        the flat ``_busy`` array; the slow path builds the explicit
+        free-port list that masking/test-mode filtering and the metrics
+        occupancy gauge need.  Both consume the arbitration RNG
+        identically (one ``randrange(n_free)`` draw iff more than one
+        port is free, picking the idx-th free port in ascending order),
+        so results are byte-identical across paths.
+        """
+        (sps, last_stage, m, busy, bits, wiring, switch_latency,
+         link_delay, rate, getrandbits, env) = self._hot
+        now = env._now  # dispatch set the clock; skip the property hop
+        fast = self._fast
+        if fast:
+            tracer = metrics = injector = None
         else:
-            free = [k for k in range(self.multiplicity) if ports[k] <= now]
-            if self.masked_switches and not last:
-                # Degraded mode: never forward into a masked switch.
-                free = [
-                    k for k in free
-                    if (stage + 1, targets[k]) not in self.masked_switches
-                ]
-        if self.metrics is not None:
-            busy = self.multiplicity - len(free)
-            self.metrics.observe_max("occupancy_ports", flat, now, busy)
-            if busy:
-                self.metrics.incr("arb_conflicts", flat, now)
-        if not free:
-            if self.tracer is not None:
-                self.tracer.record(
-                    now, "arb_loss", packet, switch=flat, stage=stage
+            if self._record_paths:
+                self.paths.setdefault(packet.pid, []).append(
+                    stage * sps + switch
                 )
-            self._drop_in_network(packet, stage=stage, switch=switch,
-                                  note="all ports busy")
-            return
-        k = free[self._rng.randrange(len(free))] if len(free) > 1 else free[0]
-        ports[k] = now + packet.serialization_time_ns(self.link_rate_gbps)
-        if self.tracer is not None:
-            self.tracer.record(
+            tracer = self.tracer
+            metrics = self.metrics
+            injector = self.fault_injector
+            faulty = self.faulty_switches
+            flat = stage * sps + switch
+            if tracer is not None:
+                tracer.record(
+                    now, "stage_arrival", packet, switch=flat, stage=stage
+                )
+            if metrics is not None:
+                metrics.incr("arrivals", flat, now)
+            if (stage, switch) in faulty or (
+                injector is not None and injector.check_drop(flat, now)
+            ):
+                self._drop_in_network(packet, stage=stage, switch=switch,
+                                      note="fault")
+                return
+        if bits is not None:
+            bit = bits[packet.dst][stage]
+        else:
+            bit = self.topology.routing_bit(packet.dst, stage)
+        last = stage == last_stage
+        if wiring is not None:
+            targets = wiring[stage][switch][bit]
+        else:
+            targets = self.topology.next_switches(stage, switch, bit)
+        base = ((stage * sps + switch) * 2 + bit) * m
+        if not fast and self._slow_arb:
+            # Slow path: the explicit free-port list.  Test mode pins one
+            # port, degraded mode filters ports by masked target, and the
+            # metrics occupancy gauge needs the full free count.
+            if self.test_port is not None:
+                free = (
+                    [self.test_port]
+                    if busy[base + self.test_port] <= now else []
+                )
+            else:
+                free = [k for k in range(m) if busy[base + k] <= now]
+                if self.masked_switches and not last:
+                    # Degraded mode: never forward into a masked switch.
+                    free = [
+                        k for k in free
+                        if (stage + 1, targets[k]) not in self.masked_switches
+                    ]
+            if metrics is not None:
+                n_busy = m - len(free)
+                metrics.observe_max("occupancy_ports", flat, now, n_busy)
+                if n_busy:
+                    metrics.incr("arb_conflicts", flat, now)
+            if not free:
+                if tracer is not None:
+                    tracer.record(
+                        now, "arb_loss", packet, switch=flat, stage=stage
+                    )
+                self._drop_in_network(packet, stage=stage, switch=switch,
+                                      note="all ports busy")
+                return
+            n_free = len(free)
+            k = free[self._randrange(n_free)] if n_free > 1 else free[0]
+        else:
+            # Fast path: count the free ports without building a list.
+            n_free = 0
+            k = base
+            i = base
+            end = base + m
+            while i < end:
+                if busy[i] <= now:
+                    n_free += 1
+                    k = i
+                i += 1
+            if n_free == 0:
+                if tracer is not None:
+                    tracer.record(
+                        now, "arb_loss", packet, switch=flat, stage=stage
+                    )
+                self._drop_in_network(packet, stage=stage, switch=switch,
+                                      note="all ports busy")
+                return
+            if n_free > 1:
+                # Same draw as the list path: pick the idx-th free port
+                # in ascending order.  randrange(n) is inlined as
+                # CPython's Random._randbelow rejection loop (draw
+                # bit_length(n) bits, reject >= n) -- verbatim, so the
+                # RNG stream stays byte-identical while skipping two
+                # Python call frames per arbitration.
+                nbits = n_free.bit_length()
+                idx = getrandbits(nbits)
+                while idx >= n_free:
+                    idx = getrandbits(nbits)
+                if n_free == m:
+                    # Every port is free (the common case at light load):
+                    # the idx-th free port is simply port idx.
+                    k = base + idx
+                else:
+                    i = base
+                    while True:
+                        if busy[i] <= now:
+                            if idx == 0:
+                                k = i
+                                break
+                            idx -= 1
+                        i += 1
+            k -= base
+        tx = (
+            packet._tx_ns if packet._tx_rate == rate
+            else packet.serialization_time_ns(rate)
+        )
+        busy[base + k] = now + tx
+        if tracer is not None:
+            tracer.record(
                 now, "arb_win", packet, switch=flat, stage=stage, port=k
             )
         packet.hops += 1
-        latency = self.switch_latency_ns
+        latency = switch_latency
         if injector is not None:
             latency += injector.extra_latency_ns(flat, now)
+        # Delays below are sums of non-negative model constants, so the
+        # unvalidated inline heap push (Environment._push, open-coded to
+        # save a call per hop) is safe.
+        seq = env._seq
+        env._seq = seq + 1
         if last:
             # Head exits to the host link; last byte lands after tx time.
-            self.env.schedule(
-                latency
-                + self.link_delay_ns
-                + packet.serialization_time_ns(self.link_rate_gbps),
-                self._deliver,
-                packet,
+            # The delay sum is grouped exactly as the pre-optimization
+            # schedule(delay) call computed it -- float addition is not
+            # associative, and byte-identity demands identical rounding.
+            heappush(
+                env._queue,
+                (now + (latency + link_delay + tx), seq,
+                 self._deliver, (packet,)),
             )
         else:
-            self.env.schedule(
-                latency,
-                self._arrive_stage,
-                packet,
-                stage + 1,
-                targets[k],
+            heappush(
+                env._queue,
+                (now + latency, seq,
+                 self._arrive_stage, (packet, stage + 1, targets[k])),
             )
 
     def _drop_in_network(
@@ -342,17 +599,19 @@ class BaldurNetwork(NetworkSimulator):
     # -- delivery and acknowledgements ------------------------------------------------
 
     def _deliver(self, packet: Packet) -> None:
-        now = self.env.now
         if packet.is_ack:
             self._handle_ack(packet)
             return
-        if packet.pid in self._given_up_pids:
+        pid = packet.pid
+        if pid in self._given_up_pids:
             # The source already declared this packet lost and the ledger
             # counted it as given up; at-most-once delivery suppresses the
             # late copy entirely (no stats, no hook, no ACK).
             return
-        if packet.pid not in self._delivered_pids:
-            self._delivered_pids.add(packet.pid)
+        now = self.env._now
+        delivered = self._delivered_pids
+        if pid not in delivered:
+            delivered.add(pid)
             packet.deliver_time = now
             self._on_delivered(packet, now)
         # ACK every arrival (duplicates re-ACK in case the ACK was lost).
@@ -360,11 +619,13 @@ class BaldurNetwork(NetworkSimulator):
             if self.ack_coalescing:
                 self._coalesce_ack(packet, now)
             else:
-                self._send_ack(packet.dst, packet.src, (packet.pid,), now)
+                self._send_ack(packet.dst, packet.src, (pid,), now)
 
     def _send_ack(self, src: int, dst: int, covered, now: float) -> None:
+        pid = self._next_pid
+        self._next_pid = pid + 1
         ack = Packet(
-            pid=self._alloc_pid(),
+            pid=pid,
             src=src,
             dst=dst,
             size_bytes=ACK_SIZE_BYTES,
@@ -372,7 +633,8 @@ class BaldurNetwork(NetworkSimulator):
             is_ack=True,
             acked_pid=tuple(covered),
         )
-        if self.packet_filter is not None and self.packet_filter(ack):
+        filt = self.packet_filter
+        if filt is not None and filt(ack):
             self.filtered_packets += 1
             if self.tracer is not None:
                 self.tracer.record(now, "drop", ack, note="filtered")
@@ -382,7 +644,7 @@ class BaldurNetwork(NetworkSimulator):
             self.tracer.record(
                 now, "ack", ack, acked=tuple(covered), note="sent"
             )
-        self._transmit(ack, attempt=1)
+        self._transmit(ack, 1)
 
     def _coalesce_ack(self, packet: Packet, now: float) -> None:
         """Traffic-combining extension (Sec. VIII): deliveries from the
@@ -413,10 +675,12 @@ class BaldurNetwork(NetworkSimulator):
             self.tracer.record(
                 self.env.now, "ack", ack, acked=covered, note="received"
             )
+        pending_pop = self._pending.pop
+        retx = self._retx_buffer_bytes
         for pid in covered:
-            data = self._pending.pop(pid, None)
+            data = pending_pop(pid, None)
             if data is not None:
-                self._retx_buffer_bytes[data.src] -= data.size_bytes
+                retx[data.src] -= data.size_bytes
 
     # -- timeouts and backoff ---------------------------------------------------------
 

@@ -29,6 +29,18 @@ __all__ = ["FatTreeNetwork"]
 LEVEL1_NS, LEVEL2_NS, LEVEL3_NS = C.FATTREE_LEVEL_DELAYS_NS
 
 
+def _least_loaded_up(ports, half: int) -> int:
+    """Least-loaded uplink among ports [half, 2*half), first-minimum."""
+    best = half
+    best_load = ports[half].queued_bytes
+    for i in range(half + 1, 2 * half):
+        load = ports[i].queued_bytes
+        if load < best_load:
+            best = i
+            best_load = load
+    return best
+
+
 class FatTreeNetwork(NetworkSimulator):
     """Packet simulator for the 3-level full-bisection fat-tree."""
 
@@ -154,16 +166,15 @@ class FatTreeNetwork(NetworkSimulator):
         if level == "edge":
             if switch.meta["pod"] == dst_pod and switch.meta["index"] == dst_edge:
                 return dst_slot, packet.vc  # down to the host
-            up = range(half, 2 * half)  # any aggregation works
-            best = min(up, key=lambda i: switch.ports[i].load_bytes)
-            return best, packet.vc
+            # Any aggregation works: first-minimum load scan over the
+            # uplinks (ties -> lowest index, exactly like min()).
+            return _least_loaded_up(switch.ports, half), packet.vc
 
         if level == "agg":
             if switch.meta["pod"] == dst_pod:
                 return dst_edge, packet.vc  # down to the destination edge
-            up = range(half, 2 * half)  # any core above this agg works
-            best = min(up, key=lambda i: switch.ports[i].load_bytes)
-            return best, packet.vc
+            # Any core above this agg works.
+            return _least_loaded_up(switch.ports, half), packet.vc
 
         # Core: deterministic down to the destination pod.
         return dst_pod, packet.vc

@@ -135,9 +135,15 @@ class MultiButterflyNetwork(NetworkSimulator):
         m = self.multiplicity
         base = direction * m
         ports = switch.ports
-        best = min(
-            range(base, base + m), key=lambda i: ports[i].load_bytes
-        )
+        # First-minimum scan (ties -> lowest index, exactly like min());
+        # avoids a key-lambda call per candidate on the per-hop path.
+        best = base
+        best_load = ports[base].queued_bytes
+        for i in range(base + 1, base + m):
+            load = ports[i].queued_bytes
+            if load < best_load:
+                best = i
+                best_load = load
         return best, packet.vc
 
     def _inject(self, packet: Packet) -> None:

@@ -36,6 +36,8 @@ class Packet:
         "dropped",
         "plan_ports",
         "plan_vcs",
+        "_tx_rate",
+        "_tx_ns",
     )
 
     def __init__(
@@ -65,6 +67,12 @@ class Packet:
         # indices and the VC to switch to after each hop.
         self.plan_ports: Optional[list] = None
         self.plan_vcs: Optional[list] = None
+        # Serialization-time memo: a packet's size never changes and every
+        # hop in a network shares one link rate, so the wire time is
+        # computed once and reused (2-3 lookups per hop on the Baldur
+        # path).  -1.0 is "no memo yet" (rates are always positive).
+        self._tx_rate = -1.0
+        self._tx_ns = 0.0
 
     @property
     def latency(self) -> Optional[float]:
@@ -76,8 +84,18 @@ class Packet:
     def serialization_time_ns(
         self, rate_gbps: float = C.LINK_DATA_RATE_GBPS
     ) -> float:
-        """Wire time of this packet (8b/10b expansion included)."""
-        return C.packet_serialization_ns(self.size_bytes, rate_gbps)
+        """Wire time of this packet (8b/10b expansion included).
+
+        Memoized per rate: repeated calls with the same ``rate_gbps``
+        (the common case -- one link rate per network) return the cached
+        value without re-deriving it.
+        """
+        if rate_gbps == self._tx_rate:
+            return self._tx_ns
+        tx = C.packet_serialization_ns(self.size_bytes, rate_gbps)
+        self._tx_rate = rate_gbps
+        self._tx_ns = tx
+        return tx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "ack" if self.is_ack else "pkt"

@@ -97,11 +97,15 @@ class OutputPort:
         self.env = env
         self.rate_gbps = rate_gbps
         self.link_delay_ns = link_delay_ns
-        # Queue entries: (packet, release_fn) where release_fn frees the
-        # packet's buffer hold at this switch once it has departed.
-        self.queue: Deque[Tuple[Packet, Optional[Callable[[float], None]]]] = (
-            deque()
-        )
+        # Queue entries: (packet, hold) where hold is a (buffer, vc, size)
+        # triple recording the packet's input-buffer claim at this switch,
+        # released once the packet has departed.  A plain tuple instead of
+        # a per-packet release closure: this queue is touched on every hop
+        # of every electrical network, and closure allocation was
+        # measurable there.
+        self.queue: Deque[
+            Tuple[Packet, Optional[Tuple[VCBuffer, int, int]]]
+        ] = deque()
         self.busy = False
         self.target_switch: Optional["Switch"] = None
         self.target_buffer: Optional[VCBuffer] = None
@@ -130,10 +134,15 @@ class OutputPort:
         self,
         packet: Packet,
         time: float,
-        release_fn: Optional[Callable[[float], None]] = None,
+        hold: Optional[Tuple[VCBuffer, int, int]] = None,
     ) -> None:
-        """Add a packet to the port FIFO and start it if possible."""
-        self.queue.append((packet, release_fn))
+        """Add a packet to the port FIFO and start it if possible.
+
+        ``hold`` is the packet's upstream input-buffer claim as a
+        ``(buffer, vc, size)`` triple (None for host NIC injections);
+        it is released when the packet finishes serializing out.
+        """
+        self.queue.append((packet, hold))
         self.queued_bytes += packet.size_bytes
         self.try_start(time)
 
@@ -141,39 +150,40 @@ class OutputPort:
         """Begin serializing the head packet if the port and credit allow."""
         if self.busy or not self.queue:
             return
-        packet, _release = self.queue[0]
-        if self.target_buffer is not None:
-            if not self.target_buffer.has_room(packet.vc, packet.size_bytes):
+        packet, _hold = self.queue[0]
+        target_buffer = self.target_buffer
+        if target_buffer is not None:
+            if not target_buffer.has_room(packet.vc, packet.size_bytes):
                 if self.stall_hook is not None:
                     self.stall_hook(packet)
-                self.target_buffer.add_waiter(self)
+                target_buffer.add_waiter(self)
                 return
-            self.target_buffer.reserve(packet.vc, packet.size_bytes)
+            target_buffer.reserve(packet.vc, packet.size_bytes)
         self.queue.popleft()
         self.queued_bytes -= packet.size_bytes
         self.busy = True
         tx_time = packet.serialization_time_ns(self.rate_gbps)
-        self.env.schedule(tx_time, self._on_sent, packet, _release)
+        env = self.env
+        env.schedule(tx_time, self._on_sent, _hold)
         if self.target_switch is not None:
-            self.env.schedule(
+            env.schedule(
                 self.link_delay_ns,
                 self.target_switch.on_head_arrival,
                 packet,
-                self.target_buffer,
+                target_buffer,
             )
         else:
             # Host delivery: the last byte lands after tx + link delay.
-            self.env.schedule(
+            env.schedule(
                 tx_time + self.link_delay_ns, self._deliver, packet
             )
 
-    def _on_sent(
-        self, packet: Packet, release: Optional[Callable[[float], None]]
-    ) -> None:
+    def _on_sent(self, hold: Optional[Tuple[VCBuffer, int, int]]) -> None:
         now = self.env.now
         self.busy = False
-        if release is not None:
-            release(now)
+        if hold is not None:
+            buf, vc, size = hold
+            buf.release(vc, size, now)
         self.try_start(now)
 
     def _deliver(self, packet: Packet) -> None:
@@ -259,15 +269,12 @@ class Switch:
         if self.route_fn is None:
             raise ConfigurationError(f"switch {self.sid} has no routing")
         port_idx, next_vc = self.route_fn(self, packet)
-        hold_vc = packet.vc
+        hold = (
+            (in_buffer, packet.vc, packet.size_bytes)
+            if in_buffer is not None else None
+        )
         packet.vc = next_vc
-
-        def release(time: float, buf=in_buffer, vc=hold_vc,
-                    size=packet.size_bytes) -> None:
-            if buf is not None:
-                buf.release(vc, size, time)
-
-        self.ports[port_idx].enqueue(packet, self.env.now, release)
+        self.ports[port_idx].enqueue(packet, self.env.now, hold)
 
 
 class Host:

@@ -12,13 +12,22 @@ programming styles:
 
 Time is a float; the unit is chosen by the caller (network simulators use
 nanoseconds, the gate-level circuit simulator uses picoseconds).
+
+Hot-path engineering (see DESIGN.md section 10): the event queue is a heap of
+``(time, seq, fn, args)`` tuples where ``seq`` is a plain integer sequence
+(FIFO tie-break for simultaneous events, no ``itertools.count`` indirection);
+:meth:`Environment.run` drains the heap with ``heappop`` and the queue bound
+to locals instead of calling :meth:`Environment.step` per event; and process
+resumption takes an allocation-free path when the yielded event has already
+been processed.  None of this changes event ordering: the ``(time, seq)``
+keys -- and therefore the dispatch sequence -- are identical to the naive
+implementation, which is what keeps simulation results byte-identical.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -31,6 +40,8 @@ __all__ = [
     "AllOf",
     "Interrupt",
 ]
+
+_INF = float("inf")
 
 
 class Interrupt(Exception):
@@ -114,14 +125,30 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
+        if not (0.0 <= delay < _INF):
+            raise SimulationError(
+                f"timeout delay must be finite and >= 0, got {delay!r}"
+            )
         super().__init__(env)
         self.delay = delay
         self._value = value
         self._ok = True
         self._triggered = True
         env._schedule_event(self, delay)
+
+
+class _Started:
+    """Pre-fired pseudo-event used to kick off a fresh :class:`Process`
+    without allocating a real :class:`Event` (the resume path only reads
+    ``ok``/``value``)."""
+
+    __slots__ = ()
+    callbacks = None
+    ok = True
+    value = None
+
+
+_START = _Started()
 
 
 class Process(Event):
@@ -131,7 +158,7 @@ class Process(Event):
     value when it fires (or the event's exception is thrown in).
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_abandoned")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -140,12 +167,13 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
-        # Kick off the process at the current time.
-        init = Event(env)
-        init.succeed()
-        init.callbacks.append(self._resume)
-        self._waiting_on = init
+        # Events this process stopped waiting on due to interrupt(); their
+        # eventual wake-ups are discarded (the tombstone check in _resume).
+        self._abandoned: List[Any] = []
+        # Kick off the process at the current time (allocation-free: the
+        # shared _START sentinel stands in for a pre-fired init event).
+        self._waiting_on: Optional[Any] = _START
+        env._push(env._now, self._resume, (_START,))
 
     @property
     def is_alive(self) -> bool:
@@ -155,22 +183,32 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 
-        Interrupting a finished process is an error.
+        Interrupting a finished process is an error.  The event the
+        process was waiting on is *abandoned* in O(1): instead of removing
+        the resume callback from the event's (potentially long) callback
+        list, the event is tombstoned and its eventual wake-up is
+        discarded by :meth:`_resume`.
         """
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
         waiting = self._waiting_on
-        if waiting is not None and waiting.callbacks is not None:
-            try:
-                waiting.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if waiting is not None:
+            self._abandoned.append(waiting)
         wakeup = Event(self.env)
         wakeup.fail(Interrupt(cause))
         wakeup.callbacks.append(self._resume)
         self._waiting_on = wakeup
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Any) -> None:
+        abandoned = self._abandoned
+        if abandoned and event in abandoned:
+            # Stale wake-up from an event this process stopped waiting on
+            # (see interrupt()).  Each interrupt abandons exactly one
+            # pending wake-up, so consume exactly one tombstone.
+            abandoned.remove(event)
+            return
+        if self._triggered:
+            return  # the process already finished; nothing to resume
         self._waiting_on = None
         try:
             if event.ok:
@@ -188,18 +226,16 @@ class Process(Event):
             raise SimulationError(
                 f"process yielded a non-event: {target!r}"
             )
+        self._waiting_on = target
         if target.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            wakeup = Event(self.env)
-            if target.ok:
-                wakeup.succeed(target.value)
-            else:
-                wakeup.fail(target.value)
-            wakeup.callbacks.append(self._resume)
-            self._waiting_on = wakeup
+            # Already processed: resume at the current time.  Free path --
+            # the target itself carries ok/value, so no wake-up event is
+            # allocated; the resume is pushed straight onto the queue at
+            # the same (time, seq) position the wake-up would have had.
+            env = self.env
+            env._push(env._now, self._resume, (target,))
         else:
             target.callbacks.append(self._resume)
-            self._waiting_on = target
 
 
 class _Condition(Event):
@@ -223,6 +259,17 @@ class _Condition(Event):
                 event.callbacks.append(self._on_fire)
 
     def _collect(self) -> dict:
+        """Snapshot ``{event: value}`` of every input event whose outcome
+        is already *decided* (triggered or processed).
+
+        Semantics, by design: a triggered-but-unprocessed event has its
+        value fixed at trigger time (:meth:`Event._trigger` writes it
+        before scheduling the callbacks), so including it is safe and
+        deliberate -- when several inputs trigger at the same timestamp,
+        AnyOf reports every one of them, not just the one whose
+        processing fired the condition.  Untriggered events are excluded;
+        their values are not yet defined.
+        """
         return {
             event: event.value
             for event in self._events
@@ -266,10 +313,26 @@ class AllOf(_Condition):
 class Environment:
     """The simulation clock and event queue."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_profile", "_run", "_ridx",
+                 "_running")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
-        self._counter = itertools.count()
+        # FIFO tie-break for simultaneous events: a plain int sequence
+        # (cheaper than itertools.count and picklable if ever needed).
+        self._seq = 0
+        # Bulk-scheduled events (schedule_batch) live in this sorted list
+        # and are merged with the heap at dispatch time.  Keeping the
+        # open-loop pre-schedule out of the heap keeps the heap small, and
+        # every sift during the run is O(log heap) of the *dynamic* event
+        # population only.  _ridx is the cursor of the next unconsumed
+        # entry.
+        self._run: list = []
+        self._ridx = 0
+        # True while run() is draining (schedule_batch then must push into
+        # the heap: run() holds the sorted list in locals).
+        self._running = False
         # Opt-in kernel profiling (repro.obs.KernelProfile); None keeps the
         # dispatch loop on its unobserved fast path.
         self._profile = None
@@ -305,20 +368,72 @@ class Environment:
     # -- callback style ----------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` after ``delay`` time units (fast path)."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, next(self._counter), fn, args)
-        )
+        """Run ``fn(*args)`` after ``delay`` time units (fast path).
+
+        ``delay`` must be finite and non-negative: NaN or infinite delays
+        would silently corrupt the heap order (every comparison against
+        NaN is False), so they are rejected eagerly.
+        """
+        when = self._now + delay
+        if not (delay >= 0.0 and when < _INF):
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when, seq, fn, args))
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` at absolute time ``when``."""
-        if when < self._now:
+        """Run ``fn(*args)`` at absolute time ``when`` (finite, >= now)."""
+        if not (self._now <= when < _INF):
             raise SimulationError(
-                f"cannot schedule in the past: t={when} < now={self._now}"
+                f"cannot schedule at t={when!r} (now={self._now}): "
+                f"time must be finite and >= now"
             )
-        heapq.heappush(self._queue, (when, next(self._counter), fn, args))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when, seq, fn, args))
+
+    def schedule_batch(
+        self, entries: Iterable[Tuple[float, Callable, tuple]]
+    ) -> int:
+        """Bulk-schedule ``(when, fn, args)`` triples at absolute times.
+
+        Equivalent to calling :meth:`schedule_at` once per entry in
+        iteration order (identical FIFO tie-break sequence, identical
+        dispatch order), but validates everything up front and -- when
+        nothing else is scheduled, the common open-loop pre-scheduling
+        case -- sorts the batch once into a side list that :meth:`run`
+        merges with the heap by ``(time, seq)``.  The heap then only ever
+        holds dynamically scheduled events, so every push/pop during the
+        run sifts through a much smaller heap.  Dispatch order is
+        identical either way.  Returns the number of entries scheduled.
+        """
+        now = self._now
+        seq = self._seq
+        items = []
+        append = items.append
+        for when, fn, args in entries:
+            if not (now <= when < _INF):
+                raise SimulationError(
+                    f"cannot schedule at t={when!r} (now={now}): "
+                    f"time must be finite and >= now"
+                )
+            append((when, seq, fn, args))
+            seq += 1
+        queue = self._queue
+        if self._running or queue or self._ridx < len(self._run):
+            push = heapq.heappush
+            for item in items:
+                push(queue, item)
+        else:
+            # Sorting compares (when, seq, ...) tuples; seq is unique, so
+            # callbacks are never compared.
+            items.sort()
+            self._run = items
+            self._ridx = 0
+        self._seq = seq
+        return len(items)
 
     # -- process style -----------------------------------------------------
 
@@ -342,43 +457,132 @@ class Environment:
         """Composite event firing when every input event has fired."""
         return AllOf(self, events)
 
+    def _push(self, when: float, fn: Callable, args: tuple) -> None:
+        """Internal unvalidated push (callers guarantee a sane ``when``)."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when, seq, fn, args))
+
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, next(self._counter), event._process, ()),
-        )
+        self._push(self._now + delay, event._process, ())
 
     # -- execution ----------------------------------------------------------
 
     def step(self) -> None:
         """Process the single next scheduled item."""
-        when, _, fn, args = heapq.heappop(self._queue)
+        queue = self._queue
+        run_list = self._run
+        ridx = self._ridx
+        if ridx < len(run_list):
+            item = run_list[ridx]
+            if queue and queue[0] < item:
+                item = heapq.heappop(queue)
+            else:
+                self._ridx = ridx + 1
+        else:
+            item = heapq.heappop(queue)
+        when, _, fn, args = item
         self._now = when
         if self._profile is None:
             fn(*args)
         else:
-            self._profile.dispatch(fn, args, len(self._queue) + 1)
+            self._profile.dispatch(
+                fn, args, len(queue) + len(run_list) - self._ridx + 1
+            )
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue empties, or until simulation time ``until``.
+        """Run until nothing remains scheduled, or until time ``until``.
 
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the queue empties earlier.
+
+        This is the kernel's hottest loop: the queue, ``heappop``, and the
+        dispatch logic of :meth:`step` are inlined with locals so each
+        event costs one pop and one call.  Events come from two sources
+        merged by ``(time, seq)``: the heap of dynamically scheduled
+        events and the sorted :meth:`schedule_batch` list.  The merge pops
+        whichever head is smaller, which is exactly the order one big heap
+        would produce, so the split cannot change simulation results.
         """
-        if until is None:
-            while self._queue:
-                self.step()
-            return
-        if until < self._now:
-            raise SimulationError(f"until={until} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= until:
-            self.step()
-        self._now = float(until)
+        queue = self._queue
+        pop = heapq.heappop
+        run_list = self._run
+        rlen = len(run_list)
+        ridx = self._ridx
+        self._running = True
+        try:
+            if until is None:
+                while True:
+                    if ridx < rlen:
+                        item = run_list[ridx]
+                        if queue and queue[0] < item:
+                            item = pop(queue)
+                        else:
+                            ridx += 1
+                            self._ridx = ridx
+                    elif queue:
+                        item = pop(queue)
+                    else:
+                        break
+                    when, _, fn, args = item
+                    self._now = when
+                    profile = self._profile
+                    if profile is None:
+                        fn(*args)
+                    else:
+                        profile.dispatch(
+                            fn, args, len(queue) + (rlen - ridx) + 1
+                        )
+                return
+            if until < self._now:
+                raise SimulationError(
+                    f"until={until} is in the past (now={self._now})"
+                )
+            while True:
+                if ridx < rlen:
+                    item = run_list[ridx]
+                    if queue and queue[0] < item:
+                        if queue[0][0] > until:
+                            break
+                        item = pop(queue)
+                    else:
+                        if item[0] > until:
+                            break
+                        ridx += 1
+                        self._ridx = ridx
+                elif queue:
+                    if queue[0][0] > until:
+                        break
+                    item = pop(queue)
+                else:
+                    break
+                when, _, fn, args = item
+                self._now = when
+                profile = self._profile
+                if profile is None:
+                    fn(*args)
+                else:
+                    profile.dispatch(fn, args, len(queue) + (rlen - ridx) + 1)
+            self._now = float(until)
+        finally:
+            self._running = False
+            self._ridx = ridx
+            if ridx >= rlen:
+                # Batch fully consumed: drop it so the next
+                # schedule_batch can take the sorted-list path again.
+                self._run = []
+                self._ridx = 0
 
     def peek(self) -> float:
-        """Time of the next scheduled item, or +inf if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled item, or +inf if nothing remains."""
+        queue = self._queue
+        when = queue[0][0] if queue else _INF
+        ridx = self._ridx
+        run_list = self._run
+        if ridx < len(run_list) and run_list[ridx][0] < when:
+            return run_list[ridx][0]
+        return when
 
     def empty(self) -> bool:
         """True if nothing remains scheduled."""
-        return not self._queue
+        return not self._queue and self._ridx >= len(self._run)

@@ -58,6 +58,16 @@ class MultiButterflyTopology:
         self.n_stages = n_nodes.bit_length() - 1
         self.switches_per_stage = n_nodes // 2
         self.wiring = self._build_wiring()
+        # Precomputed routing bits: bit_table[dst][stage] equals
+        # routing_bit(dst, stage) without the per-call validation.  The
+        # table is n_nodes x n_stages ints (a few KB at the largest sizes
+        # simulated), and lets hot loops replace a method call + shifts
+        # per hop with two list indexes.
+        top = self.n_stages - 1
+        self.bit_table: List[List[int]] = [
+            [(dst >> (top - s)) & 1 for s in range(self.n_stages)]
+            for dst in range(n_nodes)
+        ]
 
     # -- construction --------------------------------------------------------
 

@@ -330,3 +330,239 @@ class TestTimeout:
         t = env.timeout(1, value="v")
         env.run()
         assert t.value == "v"
+
+
+class TestNonFiniteDelays:
+    """NaN/inf delays would corrupt heap order (every NaN comparison is
+    False); the kernel must reject them eagerly."""
+
+    @pytest.mark.parametrize("delay", [
+        float("nan"), float("inf"), -float("inf"),
+    ])
+    def test_schedule_rejects_non_finite(self, delay):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule(delay, lambda: None)
+
+    @pytest.mark.parametrize("when", [
+        float("nan"), float("inf"), -float("inf"),
+    ])
+    def test_schedule_at_rejects_non_finite(self, when):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule_at(when, lambda: None)
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf")])
+    def test_timeout_rejects_non_finite(self, delay):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(delay)
+
+    def test_schedule_batch_rejects_non_finite(self):
+        env = Environment()
+        nop = lambda: None  # noqa: E731
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(SimulationError):
+                env.schedule_batch([(1.0, nop, ()), (bad, nop, ())])
+
+    def test_huge_but_finite_delay_is_fine(self):
+        env = Environment()
+        env.schedule(1e300, lambda: None)
+        env.run()
+        assert env.now == 1e300
+
+
+class TestScheduleBatch:
+    """schedule_batch must dispatch exactly like per-entry schedule_at."""
+
+    def test_batch_matches_sequential_order(self):
+        entries = [
+            (3.0, "a"), (1.0, "b"), (2.0, "c"), (1.0, "d"), (3.0, "e"),
+        ]
+        runs = []
+        for use_batch in (False, True):
+            env = Environment()
+            order = []
+
+            def cb(tag, env=env, order=order):
+                order.append((env.now, tag))
+
+            if use_batch:
+                n = env.schedule_batch(
+                    [(when, cb, (tag,)) for when, tag in entries]
+                )
+                assert n == len(entries)
+            else:
+                for when, tag in entries:
+                    env.schedule_at(when, cb, tag)
+            env.run()
+            runs.append(order)
+        # Identical times AND identical FIFO tie-breaks (b before d,
+        # a before e).
+        assert runs[0] == runs[1]
+        assert runs[0] == [
+            (1.0, "b"), (1.0, "d"), (2.0, "c"), (3.0, "a"), (3.0, "e"),
+        ]
+
+    def test_batch_merges_with_dynamic_events(self):
+        """Events scheduled *during* the run interleave with the batch by
+        (time, seq) exactly as one big heap would order them."""
+        env = Environment()
+        order = []
+
+        def batch_cb(tag):
+            order.append((env.now, tag))
+            if tag == "b1":
+                # Dynamic events both before and after the next batch entry.
+                env.schedule(0.5, batch_cb, "dyn-1.5")
+                env.schedule(2.5, batch_cb, "dyn-3.5")
+
+        env.schedule_batch([
+            (1.0, batch_cb, ("b1",)),
+            (2.0, batch_cb, ("b2",)),
+            (4.0, batch_cb, ("b3",)),
+        ])
+        env.run()
+        assert order == [
+            (1.0, "b1"), (1.5, "dyn-1.5"), (2.0, "b2"),
+            (3.5, "dyn-3.5"), (4.0, "b3"),
+        ]
+
+    def test_batch_into_nonempty_queue(self):
+        env = Environment()
+        order = []
+
+        def cb(tag):
+            order.append((env.now, tag))
+
+        env.schedule(1.5, cb, "heap")
+        env.schedule_batch([(1.0, cb, ("batch-1",)),
+                            (2.0, cb, ("batch-2",))])
+        env.run()
+        assert order == [(1.0, "batch-1"), (1.5, "heap"), (2.0, "batch-2")]
+
+    def test_batch_respects_run_until(self):
+        env = Environment()
+        order = []
+
+        def cb(tag):
+            order.append(tag)
+
+        env.schedule_batch([(1.0, cb, ("a",)), (5.0, cb, ("b",))])
+        env.run(until=2.0)
+        assert order == ["a"]
+        assert env.now == 2.0
+        assert not env.empty()
+        assert env.peek() == 5.0
+        env.run()
+        assert order == ["a", "b"]
+        assert env.empty()
+
+    def test_peek_empty_step_see_the_batch(self):
+        env = Environment()
+        fired = []
+        env.schedule_batch([(2.0, fired.append, (2.0,))])
+        env.schedule(3.0, fired.append, 3.0)
+        assert not env.empty()
+        assert env.peek() == 2.0
+        env.step()
+        assert fired == [2.0]
+        assert env.peek() == 3.0
+        env.step()
+        assert fired == [2.0, 3.0]
+        assert env.empty()
+
+    def test_second_batch_after_drain(self):
+        env = Environment()
+        order = []
+        env.schedule_batch([(1.0, order.append, ("first",))])
+        env.run()
+        env.schedule_batch([(2.0, order.append, ("second",))])
+        env.run()
+        assert order == ["first", "second"]
+        assert env.now == 2.0
+
+    def test_batch_scheduled_from_inside_a_callback(self):
+        """A callback bulk-scheduling mid-run must not lose events."""
+        env = Environment()
+        order = []
+
+        def first():
+            order.append("first")
+            env.schedule_batch([
+                (2.0, order.append, ("late",)),
+                (1.5, order.append, ("early",)),
+            ])
+
+        env.schedule(1.0, first)
+        env.run()
+        assert order == ["first", "early", "late"]
+
+
+class TestInterruptBookkeeping:
+    """Process.interrupt abandons the awaited event in O(1); the event
+    firing later must not resume the process a second time."""
+
+    def test_abandoned_event_fire_does_not_double_resume(self):
+        env = Environment()
+        log = []
+        wakeup = env.event()
+
+        def proc():
+            try:
+                yield wakeup
+                log.append("event")
+            except Interrupt:
+                log.append("interrupted")
+                yield env.timeout(5.0)
+                log.append("slept")
+
+        p = env.process(proc())
+        env.schedule(1.0, p.interrupt, "go")
+        # The abandoned event fires while the process sleeps; it must not
+        # resume the process early (or twice).
+        env.schedule(2.0, wakeup.succeed)
+        env.run()
+        assert log == ["interrupted", "slept"]
+        assert env.now == 6.0
+
+    def test_double_interrupt_delivers_both(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            for _ in range(2):
+                try:
+                    yield env.timeout(100.0)
+                    log.append("timeout")
+                except Interrupt as exc:
+                    log.append(f"interrupted:{exc.cause}")
+
+        p = env.process(proc())
+        env.schedule(1.0, p.interrupt, "one")
+        env.schedule(2.0, p.interrupt, "two")
+        env.run()
+        assert log == ["interrupted:one", "interrupted:two"]
+
+    def test_reyield_same_event_after_interrupt(self):
+        """Re-waiting on the very event abandoned by an interrupt still
+        works: the tombstone consumes exactly one resume, so the second
+        registration wakes the process when the event fires."""
+        env = Environment()
+        log = []
+        wakeup = env.event()
+
+        def proc():
+            try:
+                yield wakeup
+                log.append("first-wait")
+            except Interrupt:
+                log.append("interrupted")
+            yield wakeup
+            log.append("second-wait")
+
+        p = env.process(proc())
+        env.schedule(1.0, p.interrupt, "go")
+        env.schedule(2.0, wakeup.succeed)
+        env.run()
+        assert log == ["interrupted", "second-wait"]
