@@ -356,5 +356,5 @@ def format_comparison(rows: List[Dict]) -> str:
 def write_report(report: Dict, path: str) -> None:
     """Write a perf report as pretty-printed JSON."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=1, sort_keys=True)
+        json.dump(report, fh, indent=1, sort_keys=True, allow_nan=False)
         fh.write("\n")

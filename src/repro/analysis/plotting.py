@@ -55,7 +55,7 @@ def ascii_plot(
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for index, (name, curve) in enumerate(series.items()):
+    for index, (_name, curve) in enumerate(series.items()):
         marker = _MARKERS[index % len(_MARKERS)]
         for x, y in sorted(curve.items()):
             if y != y:

@@ -73,10 +73,11 @@ def run_with_failures(
     """
     net = build_network(network_name, n_nodes, seed)
     failed = _pick_failed(list(net.switch_ids()), k, seed)
-    if chaos is not None:
-        faults = chaos.faults_for(failed)
-    else:
-        faults = [FailStop(sid) for sid in failed]
+    faults = (
+        chaos.faults_for(failed)
+        if chaos is not None
+        else [FailStop(sid) for sid in failed]
+    )
     injector = FaultInjector(faults, seed=seed)
     net.attach_faults(injector)
 

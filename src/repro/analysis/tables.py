@@ -50,7 +50,7 @@ def format_latency_grid(
     """Render {network: {load: LatencyStats}} as a loads x networks table."""
     networks = list(results)
     loads = sorted({load for r in results.values() for load in r})
-    headers = ["load"] + networks
+    headers = ["load", *networks]
     rows: List[List] = []
     for load in loads:
         row: List = [load]

@@ -159,14 +159,14 @@ def _cmd_fig7(args) -> None:
     ratios = figure7_ratios(results)
     nan = float("nan")
     rows = [
-        [workload] + [
+        [workload, *(
             ratios.get(workload, {}).get(name, nan)
             for name in NETWORK_NAMES
-        ]
+        )]
         for workload in results
     ]
     print(format_table(
-        ["workload"] + list(NETWORK_NAMES), rows,
+        ["workload", *NETWORK_NAMES], rows,
         title=f"Fig. 7 -- avg latency normalized to Baldur "
         f"({args.nodes} nodes)",
     ))
@@ -179,10 +179,10 @@ def _cmd_fig8(args) -> None:
     sweep = power_scaling_sweep(list(FIG8_SCALES))
     networks = list(sweep)
     rows = [
-        [f"{scale:,}"] + [sweep[name][i].total for name in networks]
+        [f"{scale:,}", *(sweep[name][i].total for name in networks)]
         for i, scale in enumerate(FIG8_SCALES)
     ]
-    print(format_table(["scale"] + networks, rows,
+    print(format_table(["scale", *networks], rows,
                        title="Fig. 8 -- power per server node (W)"))
 
 
@@ -194,10 +194,10 @@ def _cmd_fig9(args) -> None:
     per_case = sweep.index("case")
     networks = ("dragonfly", "fattree", "multibutterfly")
     rows = [
-        [case] + [ratios[n] for n in networks]
+        [case, *(ratios[n] for n in networks)]
         for case, ratios in per_case.items()
     ]
-    print(format_table(["case"] + list(networks), rows,
+    print(format_table(["case", *networks], rows,
                        title="Fig. 9 -- Baldur advantage (1M scale)"))
     _finish_sweep(args, sweep)
 
@@ -359,7 +359,7 @@ def _cmd_perf(args) -> int:
     if baseline_path and os.path.exists(baseline_path):
         import json as _json
 
-        with open(baseline_path, "r", encoding="utf-8") as fh:
+        with open(baseline_path, encoding="utf-8") as fh:
             baseline = _json.load(fh)
         try:
             rows = compare_reports(report, baseline)
@@ -388,6 +388,13 @@ def _cmd_perf(args) -> int:
             print(f"# WARNING: {len(regressions)} metric(s) regressed "
                   f">10% vs the baseline")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the repro.lint static analyzer (same engine as repro-lint)."""
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
 
 
 def _cmd_trace(args) -> int:
@@ -518,6 +525,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "comparable to full runs)")
     perf.add_argument("--progress", action="store_true",
                       help="stream per-section progress to stderr")
+    # lint shares its full option surface with the repro-lint console
+    # script (see repro.lint.cli) so the two entry points cannot drift.
+    from repro.lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & invariant static analysis (repro-lint)",
+    )
+    lint.set_defaults(fn=_cmd_lint)
+    add_lint_arguments(lint)
+
     add("fig8", _cmd_fig8)
     add("fig9", _cmd_fig9, sweep=True)
     add("fig10", _cmd_fig10)

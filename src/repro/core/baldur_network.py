@@ -446,15 +446,17 @@ class BaldurNetwork(NetworkSimulator):
                 self._drop_in_network(packet, stage=stage, switch=switch,
                                       note="fault")
                 return
-        if bits is not None:
-            bit = bits[packet.dst][stage]
-        else:
-            bit = self.topology.routing_bit(packet.dst, stage)
+        bit = (
+            bits[packet.dst][stage]
+            if bits is not None
+            else self.topology.routing_bit(packet.dst, stage)
+        )
         last = stage == last_stage
-        if wiring is not None:
-            targets = wiring[stage][switch][bit]
-        else:
-            targets = self.topology.next_switches(stage, switch, bit)
+        targets = (
+            wiring[stage][switch][bit]
+            if wiring is not None
+            else self.topology.next_switches(stage, switch, bit)
+        )
         base = ((stage * sps + switch) * 2 + bit) * m
         if not fast and self._slow_arb:
             # Slow path: the explicit free-port list.  Test mode pins one

@@ -92,7 +92,7 @@ def _normalize_faults(faulty) -> List[Tuple[int, int]]:
         raise ConfigurationError(
             f"faulty must be a (stage, switch) pair or a sequence of "
             f"them, got {faulty!r}"
-        )
+        ) from None
     if not items:
         return []
     if all(isinstance(x, int) for x in items):
@@ -104,7 +104,7 @@ def _normalize_faults(faulty) -> List[Tuple[int, int]]:
         except (TypeError, ValueError):
             raise ConfigurationError(
                 f"each fault must be a (stage, switch) pair, got {item!r}"
-            )
+            ) from None
         if not isinstance(stage, int) or not isinstance(switch, int):
             raise ConfigurationError(
                 f"fault coordinates must be integers, got {item!r}"

@@ -1,0 +1,137 @@
+"""Command-line front end for the ``repro.lint`` analyzer.
+
+Installed as the ``repro-lint`` console script, and reused verbatim by
+the ``repro-bench lint`` subcommand (see :mod:`repro.cli`): both call
+:func:`add_lint_arguments` to build the option surface and
+:func:`run_from_args` to execute, so the two entry points cannot drift.
+
+Exit codes: 0 = clean, 1 = findings (or parse failures), 2 = bad usage
+(unknown rule id, no Python files found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.engine import run_lint
+from repro.lint.report import render_json, render_text
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run_from_args"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared lint options to *parser*.
+
+    Kept separate from :func:`build_parser` so ``repro-bench lint`` can
+    mount the same options on its subparser.
+    """
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        dest="format",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="also lint tests/lint_fixtures (excluded by default)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & invariant static analysis for the Baldur repro"
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed *args*; returns exit code."""
+    # Populate the registry before listing or running rules.
+    import repro.lint.checkers  # noqa: F401
+    from repro.lint.engine import DEFAULT_EXCLUDED_DIRS, registry
+
+    if args.list_rules:
+        for rule in registry.rules():
+            print(f"{rule.id}: {rule.summary}")
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        if not select:
+            print("error: --select given but no rule ids parsed", file=sys.stderr)
+            return 2
+
+    exclude = set(DEFAULT_EXCLUDED_DIRS)
+    if args.include_fixtures:
+        exclude.discard("lint_fixtures")
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"error: path(s) not found: {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    try:
+        report = run_lint(
+            args.paths, select=select, exclude_dirs=frozenset(exclude)
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if report.n_files == 0:
+        print("error: no Python files found under given paths", file=sys.stderr)
+        return 2
+
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    if args.out is not None:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+    return report.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run_from_args(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

@@ -1,0 +1,406 @@
+"""The ``repro.lint`` analysis engine: file discovery, parsing, suppression.
+
+Every figure this repro produces depends on invariants the interpreter
+cannot see: one sanctioned RNG stream (``repro.sim.rand``), no wall-clock
+reads inside simulation code, an enumerable set of audited fast-path heap
+pushes, and RFC 8259 JSON on every result file.  Runtime tests catch
+violations late (after an expensive golden-figure diff); this engine
+catches them at commit time by walking the AST of every source file
+through a registry of repo-specific checkers (:mod:`repro.lint.checkers`).
+
+Architecture (DESIGN.md section 11):
+
+* :class:`SourceFile` -- one parsed file: path, derived dotted module
+  name, AST, and its suppression table;
+* :class:`CheckerRegistry` -- rule id -> checker function; checkers are
+  plain generators registered with the :func:`checker` decorator, so
+  adding a rule is one decorated function;
+* :func:`run_lint` -- discovery + execution + suppression filtering,
+  returning a :class:`LintReport` that the reporters in
+  :mod:`repro.lint.report` render as text or JSON.
+
+Suppression syntax: a ``# repro-lint: disable=RULE[,RULE...]`` comment on
+its own line disables the listed rules (or ``all``) for the whole file; as
+a trailing comment it disables them for that line only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "CheckerRegistry",
+    "Finding",
+    "ImportMap",
+    "LintReport",
+    "PARSE_RULE",
+    "Rule",
+    "SourceFile",
+    "checker",
+    "iter_source_files",
+    "module_name_for",
+    "registry",
+    "run_lint",
+    "walk_with_qualname",
+]
+
+PARSE_RULE = "E-PARSE"
+"""Pseudo-rule reported for files the ``ast`` module cannot parse."""
+
+DEFAULT_EXCLUDED_DIRS = frozenset({
+    "__pycache__",
+    ".git",
+    ".ruff_cache",
+    ".mypy_cache",
+    "build",
+    "dist",
+    # The checker test corpus contains deliberate violations; it is only
+    # linted by tests/test_lint.py, which opts back in explicitly.
+    "lint_fixtures",
+})
+"""Directory names skipped during discovery (see ``exclude_dirs``)."""
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_, \-]+)")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Identity and one-line summary of one registered checker."""
+
+    id: str
+    summary: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    module: str
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` (the clickable prefix of the text report)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload (one element of the JSON report)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "module": self.module,
+        }
+
+
+class SourceFile:
+    """One parsed source file plus its per-file/per-line suppressions."""
+
+    def __init__(self, path: Path, module: str, text: str):
+        self.path = path
+        self.module = module
+        self.text = text
+        self.tree: ast.Module = ast.parse(text, filename=str(path))
+        self.file_disabled: Set[str] = set()
+        self.line_disabled: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules = {
+                part.strip() for part in match.group(1).split(",")
+                if part.strip()
+            }
+            code = line[: match.start()].strip()
+            if code:
+                self.line_disabled.setdefault(lineno, set()).update(rules)
+            else:
+                self.file_disabled.update(rules)
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` for ``node`` (checker convenience)."""
+        return Finding(
+            rule=rule,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            module=self.module,
+        )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True if ``rule`` is disabled for this file or this line."""
+        if "all" in self.file_disabled or rule in self.file_disabled:
+            return True
+        at_line = self.line_disabled.get(line)
+        return at_line is not None and (
+            "all" in at_line or rule in at_line
+        )
+
+
+CheckerFn = Callable[[SourceFile], Iterator[Finding]]
+
+
+class CheckerRegistry:
+    """Plugin registry mapping rule ids to checker functions.
+
+    Checkers self-register at import time via the :func:`checker`
+    decorator; :func:`run_lint` consults the registry so third parties
+    (or tests) can run with a private registry or a rule subset.
+    """
+
+    def __init__(self) -> None:
+        self._checkers: Dict[str, Tuple[Rule, CheckerFn]] = {}
+
+    def register(
+        self, rule_id: str, summary: str
+    ) -> Callable[[CheckerFn], CheckerFn]:
+        """Decorator registering a checker under ``rule_id``."""
+
+        def decorate(fn: CheckerFn) -> CheckerFn:
+            if rule_id in self._checkers:
+                raise ValueError(f"duplicate checker for rule {rule_id!r}")
+            self._checkers[rule_id] = (Rule(rule_id, summary), fn)
+            return fn
+
+        return decorate
+
+    def rules(self) -> List[Rule]:
+        """Every registered rule, sorted by id."""
+        return [self._checkers[key][0] for key in sorted(self._checkers)]
+
+    def items(
+        self, select: Optional[Iterable[str]] = None
+    ) -> List[Tuple[Rule, CheckerFn]]:
+        """(rule, checker) pairs, optionally restricted to ``select``."""
+        if select is None:
+            return [self._checkers[key] for key in sorted(self._checkers)]
+        unknown = sorted(set(select) - set(self._checkers))
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(unknown)}")
+        return [self._checkers[key] for key in sorted(set(select))]
+
+
+registry = CheckerRegistry()
+"""The default registry (populated by importing :mod:`repro.lint.checkers`)."""
+
+checker = registry.register
+"""Decorator registering a checker in the default registry."""
+
+
+# -- shared AST utilities used by checkers ----------------------------------
+
+
+def walk_with_qualname(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield every node with the dotted qualname of its enclosing scope.
+
+    The qualname is built from enclosing class/function definitions
+    (``""`` at module level, ``"Class.method"`` inside a method), which
+    is what allowlists key on.
+    """
+
+    def visit(node: ast.AST, qual: str) -> Iterator[Tuple[ast.AST, str]]:
+        for child in ast.iter_child_nodes(node):
+            child_qual = qual
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                child_qual = f"{qual}.{child.name}" if qual else child.name
+            yield child, child_qual
+            yield from visit(child, child_qual)
+
+    yield tree, ""
+    yield from visit(tree, "")
+
+
+class ImportMap:
+    """Alias resolution for one module's imports.
+
+    Maps local names back to the dotted things they refer to, so checkers
+    can recognise ``np.random.seed`` and ``from time import perf_counter``
+    no matter how the import was spelled.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.modules: Dict[str, str] = {}
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.modules[local] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None and "." in alias.name:
+                        # ``import numpy.random`` binds ``numpy`` locally
+                        # but makes the submodule reachable through it.
+                        self.modules[alias.name.split(".")[0]] = (
+                            alias.name.split(".")[0]
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports stay package-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The dotted source of an attribute/name chain, or ``None``.
+
+        ``np.random.default_rng`` resolves to
+        ``"numpy.random.default_rng"`` when ``np`` aliases ``numpy``;
+        ``perf_counter`` resolves to ``"time.perf_counter"`` after
+        ``from time import perf_counter``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.modules:
+            parts.append(self.modules[base])
+        elif base in self.names:
+            parts.append(self.names[base])
+        else:
+            parts.append(base)
+        return ".".join(reversed(parts))
+
+
+# -- discovery ---------------------------------------------------------------
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from ``path``.
+
+    Files under a ``src`` directory map to their import path
+    (``src/repro/sim/core.py`` -> ``repro.sim.core``); anything else maps
+    to its path parts relative to the last recognisable anchor (so test
+    files become ``tests.test_x``).  The fixture corpus exploits the
+    ``src`` anchor: ``tests/lint_fixtures/src/repro/netsim/x.py`` lints
+    as module ``repro.netsim.x``, which is how fixtures exercise
+    module-scoped rules.
+    """
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("src", "tests"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            tail = parts[index + 1:] if anchor == "src" else parts[index:]
+            if tail:
+                return ".".join(part for part in tail if part != "__init__") \
+                    or tail[0]
+    return parts[-1] if parts[-1] != "__init__" else ".".join(parts[-2:-1])
+
+
+def iter_source_files(
+    paths: Sequence[Path],
+    exclude_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, pruning excluded directories."""
+    excluded = set(exclude_dirs)
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            yield root
+            continue
+        for path in sorted(root.rglob("*.py")):
+            relative = path.relative_to(root)
+            if any(part in excluded for part in relative.parts[:-1]):
+                continue
+            yield path
+
+
+# -- execution ---------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """The outcome of one :func:`run_lint` call."""
+
+    findings: List[Finding] = field(default_factory=list)
+    rules: List[Rule] = field(default_factory=list)
+    n_files: int = 0
+    suppressed: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any finding survived suppression."""
+        return 1 if self.findings else 0
+
+    def by_rule(self) -> Dict[str, int]:
+        """Finding counts per rule id, sorted."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {rule: counts[rule] for rule in sorted(counts)}
+
+
+def run_lint(
+    paths: Sequence[Path],
+    select: Optional[Iterable[str]] = None,
+    exclude_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+    reg: Optional[CheckerRegistry] = None,
+) -> LintReport:
+    """Run the registered checkers over ``paths`` and collect findings.
+
+    ``select`` restricts to a subset of rule ids; ``exclude_dirs``
+    replaces the default directory prune list (pass ``()`` to lint the
+    fixture corpus); ``reg`` substitutes a private registry (tests).
+    Findings are sorted by (path, line, col, rule) so reports are
+    deterministic.
+    """
+    if reg is None:
+        reg = registry
+    checkers = reg.items(select)
+    report = LintReport(rules=[rule for rule, _ in checkers])
+    for path in iter_source_files(paths, exclude_dirs):
+        report.n_files += 1
+        try:
+            src = SourceFile(
+                path, module_name_for(path),
+                path.read_text(encoding="utf-8"),
+            )
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            report.findings.append(Finding(
+                rule=PARSE_RULE, path=str(path), line=line, col=0,
+                message=f"cannot parse: {exc}", module=module_name_for(path),
+            ))
+            continue
+        for _rule, fn in checkers:
+            for finding in fn(src):
+                if src.suppressed(finding.rule, finding.line):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(
+        key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    return report

@@ -1,0 +1,67 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintReport` for humans
+or machines.
+
+The JSON document is deliberately canonical (sorted keys, sorted
+findings, ``allow_nan=False``) so CI can archive it as an artifact and
+diff two runs byte-for-byte -- the same discipline
+:func:`repro.runner.spec.canonical_json` applies to results files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import LintReport
+
+__all__ = ["render_json", "render_text"]
+
+JSON_SCHEMA_VERSION = 1
+"""Bumped whenever the JSON report layout changes incompatibly."""
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` line per
+    finding plus a one-line summary."""
+    lines: List[str] = [
+        f"{finding.location}: {finding.rule} {finding.message}"
+        for finding in report.findings
+    ]
+    if report.findings:
+        per_rule = ", ".join(
+            f"{rule}={count}" for rule, count in report.by_rule().items()
+        )
+        lines.append(
+            f"{len(report.findings)} finding(s) in {report.n_files} "
+            f"file(s): {per_rule}"
+        )
+    else:
+        suffix = (
+            f" ({report.suppressed} suppressed)" if report.suppressed else ""
+        )
+        lines.append(
+            f"clean: {report.n_files} file(s), "
+            f"{len(report.rules)} rule(s){suffix}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Canonical JSON report (the CI artifact format)."""
+    payload: Dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": report.n_files,
+        "rules": [
+            {"id": rule.id, "summary": rule.summary}
+            for rule in report.rules
+        ],
+        "findings": [finding.to_dict() for finding in report.findings],
+        "summary": {
+            "total": len(report.findings),
+            "suppressed": report.suppressed,
+            "by_rule": report.by_rule(),
+        },
+    }
+    return json.dumps(
+        payload, sort_keys=True, indent=1, allow_nan=False
+    )

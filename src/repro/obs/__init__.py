@@ -24,7 +24,7 @@ parameter and embed :func:`obs_payload` rollups in their result dicts.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import KernelProfile
@@ -44,14 +44,14 @@ def obs_payload(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     profile: Optional[KernelProfile] = None,
-) -> Dict:
+) -> Dict[str, Any]:
     """The JSON-safe observability rollup a sweep job embeds in its result.
 
     Only deterministic parts are included by default; the kernel profile's
     wall times are wall-clock and are only embedded when explicitly passed
     (sweep jobs never do -- it would break byte-identical results files).
     """
-    payload: Dict = {}
+    payload: Dict[str, Any] = {}
     if tracer is not None:
         payload["trace"] = tracer.summary()
     if metrics is not None:

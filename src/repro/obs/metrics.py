@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, TextIO, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -39,7 +39,7 @@ DEFAULT_WINDOW_NS = 1000.0
 class MetricsRegistry:
     """Collects windowed per-switch counters and gauges."""
 
-    def __init__(self, window_ns: float = DEFAULT_WINDOW_NS):
+    def __init__(self, window_ns: float = DEFAULT_WINDOW_NS) -> None:
         if window_ns <= 0:
             raise ConfigurationError("window_ns must be positive")
         self.window_ns = float(window_ns)
@@ -108,14 +108,14 @@ class MetricsRegistry:
 
     # -- export -------------------------------------------------------------
 
-    def rollup(self) -> Dict:
+    def rollup(self) -> Dict[str, Any]:
         """Compact JSON-safe summary embedded in sweep job results.
 
         Switch ids become string keys (JSON objects require them); window
         detail is reduced to totals/peaks plus the number of active
         windows, keeping result payloads small and canonical.
         """
-        counters = {}
+        counters: Dict[str, Dict[str, Dict[str, float]]] = {}
         for metric in sorted(self._counters):
             counters[metric] = {
                 str(sid): {
@@ -124,7 +124,7 @@ class MetricsRegistry:
                 }
                 for sid, windows in sorted(self._counters[metric].items())
             }
-        gauges = {}
+        gauges: Dict[str, Dict[str, Dict[str, float]]] = {}
         for metric in sorted(self._gauges):
             gauges[metric] = {
                 str(sid): {
@@ -139,13 +139,13 @@ class MetricsRegistry:
             "gauges": gauges,
         }
 
-    def to_jsonl(self, target) -> int:
+    def to_jsonl(self, target: Union[str, Path, TextIO]) -> int:
         """Write the full time series as JSON Lines; returns line count.
 
         One line per (metric, switch, window), sorted, so the file is
         deterministic for a deterministic run.
         """
-        if not hasattr(target, "write"):
+        if isinstance(target, (str, Path)):
             path = Path(target)
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "w", encoding="utf-8") as fh:
@@ -163,14 +163,14 @@ class MetricsRegistry:
                             "window": window,
                             "t_start_ns": window * self.window_ns,
                             "value": value,
-                        }, sort_keys=True))
+                        }, sort_keys=True, allow_nan=False))
                         target.write("\n")
                         n += 1
         return n
 
     def describe(self) -> str:
         """One-line human summary."""
-        parts = []
+        parts: List[str] = []
         for metric in sorted(self._counters):
             total = sum(sum(w.values()) for w in self._counters[metric].values())
             parts.append(f"{metric}={total:g}")

@@ -22,7 +22,7 @@ into simulation state, only into this report.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 __all__ = ["KernelProfile"]
 
@@ -32,13 +32,15 @@ class KernelProfile:
 
     __slots__ = ("events_dispatched", "max_heap_depth", "calls", "wall_s")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.events_dispatched = 0
         self.max_heap_depth = 0
         self.calls: Dict[str, int] = {}
         self.wall_s: Dict[str, float] = {}
 
-    def dispatch(self, fn, args, depth: int) -> None:
+    def dispatch(
+        self, fn: Callable[..., Any], args: Tuple[Any, ...], depth: int
+    ) -> None:
         """Run one callback under measurement (called by the kernel)."""
         self.events_dispatched += 1
         if depth > self.max_heap_depth:
@@ -62,7 +64,7 @@ class KernelProfile:
             key=lambda row: (-row[1], row[0]),
         )[:top]
 
-    def summary(self) -> Dict:
+    def summary(self) -> Dict[str, Any]:
         """JSON-safe rollup of the profile."""
         return {
             "events_dispatched": self.events_dispatched,

@@ -37,7 +37,18 @@ import json
 from collections import deque
 from hashlib import sha256
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigurationError
 
@@ -78,11 +89,11 @@ class TraceEvent:
         dst: Optional[int] = None,
         is_ack: bool = False,
         switch: Optional[int] = None,
-        stage=None,
+        stage: Any = None,
         port: Optional[int] = None,
         acked: Optional[Sequence[int]] = None,
         note: Optional[str] = None,
-    ):
+    ) -> None:
         self.t = t
         self.etype = etype
         self.pid = pid
@@ -92,12 +103,14 @@ class TraceEvent:
         self.switch = switch
         self.stage = stage
         self.port = port
-        self.acked = tuple(acked) if acked is not None else None
+        self.acked: Optional[Tuple[int, ...]] = (
+            tuple(acked) if acked is not None else None
+        )
         self.note = note
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-safe payload; ``None`` fields are omitted for compactness."""
-        payload: Dict = {"t": self.t, "type": self.etype}
+        payload: Dict[str, Any] = {"t": self.t, "type": self.etype}
         for field in ("pid", "src", "dst", "switch", "stage", "port", "note"):
             value = getattr(self, field)
             if value is not None:
@@ -122,11 +135,11 @@ class TraceEvent:
 class Tracer:
     """Ring-buffered recorder of :class:`TraceEvent` objects."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ConfigurationError("tracer capacity must be >= 1")
         self.capacity = capacity
-        self._ring: deque = deque(maxlen=capacity)
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
         self.recorded = 0
         self.counts: Dict[str, int] = {}
 
@@ -136,25 +149,26 @@ class Tracer:
         self,
         t: float,
         etype: str,
-        packet=None,
+        packet: Any = None,
         switch: Optional[int] = None,
-        stage=None,
+        stage: Any = None,
         port: Optional[int] = None,
         acked: Optional[Sequence[int]] = None,
         note: Optional[str] = None,
     ) -> None:
         """Record one event, pulling endpoint fields off ``packet``."""
-        if packet is not None:
-            event = TraceEvent(
+        event = (
+            TraceEvent(
                 t, etype, pid=packet.pid, src=packet.src, dst=packet.dst,
                 is_ack=packet.is_ack, switch=switch, stage=stage, port=port,
                 acked=acked, note=note,
             )
-        else:
-            event = TraceEvent(
+            if packet is not None
+            else TraceEvent(
                 t, etype, switch=switch, stage=stage, port=port,
                 acked=acked, note=note,
             )
+        )
         self._ring.append(event)
         self.recorded += 1
         self.counts[etype] = self.counts.get(etype, 0) + 1
@@ -189,8 +203,8 @@ class Tracer:
         else any injected flow.  ``src``/``dst`` restrict the candidates.
         """
         injected: List[int] = []
-        eventful = set()
-        delivered = set()
+        eventful: Set[int] = set()
+        delivered: Set[int] = set()
         for event in self._ring:
             if event.pid is None or event.is_ack:
                 continue
@@ -217,22 +231,25 @@ class Tracer:
 
     # -- export -------------------------------------------------------------
 
-    def to_jsonl(self, target) -> int:
+    def to_jsonl(self, target: Union[str, Path, TextIO]) -> int:
         """Write retained events as JSON Lines; returns the line count.
 
         ``target`` is a path or an open text file.  One event per line,
         keys sorted -- the file is deterministic for a deterministic run.
         """
-        events = self.events
-        if hasattr(target, "write"):
-            for event in events:
-                target.write(json.dumps(event.to_dict(), sort_keys=True))
-                target.write("\n")
-        else:
+        if isinstance(target, (str, Path)):
             path = Path(target)
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "w", encoding="utf-8") as fh:
                 return self.to_jsonl(fh)
+        events = self.events
+        for event in events:
+            target.write(
+                json.dumps(
+                    event.to_dict(), sort_keys=True, allow_nan=False
+                )
+            )
+            target.write("\n")
         return len(events)
 
     def digest(self) -> str:
@@ -240,12 +257,14 @@ class Tracer:
         hasher = sha256()
         for event in self._ring:
             hasher.update(
-                json.dumps(event.to_dict(), sort_keys=True).encode()
+                json.dumps(
+                    event.to_dict(), sort_keys=True, allow_nan=False
+                ).encode()
             )
             hasher.update(b"\n")
         return hasher.hexdigest()
 
-    def summary(self) -> Dict:
+    def summary(self) -> Dict[str, Any]:
         """JSON-safe rollup: whole-run counts plus ring/digest metadata."""
         return {
             "recorded": self.recorded,
@@ -272,7 +291,7 @@ def format_timeline(events: Sequence[TraceEvent]) -> List[str]:
     if not events:
         return ["(no events)"]
     t0 = events[0].t
-    lines = []
+    lines: List[str] = []
     for event in events:
         parts = [f"+{event.t - t0:>12.2f}ns", f"{event.etype:<13}"]
         if event.pid is not None:

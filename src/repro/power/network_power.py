@@ -12,7 +12,7 @@ follows the Sec. IV-E rule; dragonfly intra-group links go optical from
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro import constants as C
 from repro.core.multiplicity import multiplicity_for_scale
@@ -186,9 +186,11 @@ counts differ per topology, as the paper notes)."""
 
 
 def power_scaling_sweep(
-    scales: List[int] = list(FIG8_SCALES),
+    scales: Optional[Sequence[int]] = None,
 ) -> Dict[str, List[PowerBreakdown]]:
     """Per-node power for every network at every scale (Fig. 8)."""
+    if scales is None:
+        scales = FIG8_SCALES
     return {
         name: [model(scale) for scale in scales]
         for name, model in NETWORK_POWER_MODELS.items()

@@ -14,11 +14,12 @@ entries are counted, deleted, and recomputed -- never served.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union, cast
 
 import repro
 from repro.runner.spec import Job, canonical_json, json_safe
@@ -46,7 +47,7 @@ def _tree_snapshot(root: Path) -> _Snapshot:
     )
 
 
-def code_fingerprint(root=None) -> str:
+def code_fingerprint(root: Optional[Union[str, Path]] = None) -> str:
     """SHA-256 over every ``repro`` source file (path + contents).
 
     Invalidates every cache entry whenever any simulator code changes,
@@ -57,22 +58,23 @@ def code_fingerprint(root=None) -> str:
     fingerprint.  ``root`` defaults to the installed ``repro`` package
     (overridable for tests).
     """
-    root = (
-        Path(root).resolve()
-        if root is not None
-        else Path(repro.__file__).resolve().parent
-    )
-    snapshot = _tree_snapshot(root)
-    cached = _FINGERPRINT_CACHE.get(root)
+    if root is not None:
+        tree = Path(root).resolve()
+    else:
+        package_file = repro.__file__
+        assert package_file is not None  # repro is an on-disk package
+        tree = Path(package_file).resolve().parent
+    snapshot = _tree_snapshot(tree)
+    cached = _FINGERPRINT_CACHE.get(tree)
     if cached is not None and cached[0] == snapshot:
         return cached[1]
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(path.relative_to(root).as_posix().encode())
+    for path in sorted(tree.rglob("*.py")):
+        digest.update(path.relative_to(tree).as_posix().encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
     fingerprint = digest.hexdigest()
-    _FINGERPRINT_CACHE[root] = (snapshot, fingerprint)
+    _FINGERPRINT_CACHE[tree] = (snapshot, fingerprint)
     return fingerprint
 
 
@@ -84,7 +86,7 @@ def result_digest(result: Any) -> str:
 class ResultCache:
     """Disk cache mapping job content hashes to result payloads."""
 
-    def __init__(self, cache_dir) -> None:
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
         self.root = Path(cache_dir)
         self.hits = 0
         self.misses = 0
@@ -124,7 +126,7 @@ class ResultCache:
             self._poison(path)
             return None
         self.hits += 1
-        return entry["result"]
+        return cast(Dict[str, Any], entry["result"])
 
     def put(self, cache_key: str, job: Job, result: Any) -> Path:
         """Atomically persist one completed job result."""
@@ -152,7 +154,5 @@ class ResultCache:
         """A corrupted/stale entry: count it, drop it, report a miss."""
         self.poisoned += 1
         self.misses += 1
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(path)
-        except OSError:
-            pass

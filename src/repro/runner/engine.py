@@ -15,7 +15,8 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
@@ -88,7 +89,7 @@ class SweepResult:
     """Ordered outcomes of a sweep plus its spec and execution report."""
 
     def __init__(self, spec: SweepSpec, outcomes: List[JobOutcome],
-                 report: SweepReport):
+                 report: SweepReport) -> None:
         self.spec = spec
         self.outcomes = outcomes
         self.report = report
@@ -101,11 +102,11 @@ class SweepResult:
         self,
         *axis_names: str,
         value: Callable[[Dict[str, Any]], Any] = lambda result: result,
-    ) -> Dict:
+    ) -> Dict[Any, Any]:
         """Nest results by the given axes: ``index('pattern', 'network')``
         returns ``{pattern: {network: value(result)}}``."""
         names = axis_names or tuple(self.spec.axes)
-        nested: Dict = {}
+        nested: Dict[Any, Any] = {}
         for outcome in self.outcomes:
             level = nested
             for name in names[:-1]:
@@ -147,7 +148,7 @@ def _timed_execute(kind: str, params: Dict[str, Any]) -> Tuple[Dict[str, Any], f
 def run_sweep(
     spec: SweepSpec,
     jobs: Optional[int] = None,
-    cache_dir=None,
+    cache_dir: Optional[Union[str, Path]] = None,
     use_cache: bool = True,
     progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
@@ -208,17 +209,22 @@ def run_sweep(
         report.executed = len(to_run)
         if cache is not None:
             for i in to_run:
-                cache.put(cache_keys[i], expanded[i], results[i])
+                cache_key, result = cache_keys[i], results[i]
+                assert cache_key is not None and result is not None
+                cache.put(cache_key, expanded[i], result)
 
     if cache is not None:
         report.poisoned = cache.poisoned
     report.elapsed_s = time.perf_counter() - start
 
-    outcomes = [
-        JobOutcome(job=job, result=results[i], cached=cached_flags[i],
-                   elapsed_s=elapsed[i])
-        for i, job in enumerate(expanded)
-    ]
+    outcomes: List[JobOutcome] = []
+    for i, job in enumerate(expanded):
+        result = results[i]
+        assert result is not None  # every job was cached or executed
+        outcomes.append(JobOutcome(
+            job=job, result=result, cached=cached_flags[i],
+            elapsed_s=elapsed[i],
+        ))
     return SweepResult(spec, outcomes, report)
 
 

@@ -14,19 +14,25 @@ with :mod:`repro.analysis`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.netsim.stats import StatsSummary
 
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
 __all__ = ["JOB_KINDS", "execute_job"]
 
 
-def _summary(stats) -> Dict[str, Any]:
-    return StatsSummary.from_stats(stats).to_dict()
+def _summary(stats: Any) -> Dict[str, Any]:
+    return dict(StatsSummary.from_stats(stats).to_dict())
 
 
-def _make_obs(params: Mapping[str, Any]):
+def _make_obs(
+    params: Mapping[str, Any],
+) -> Tuple[Optional[Tracer], Optional[MetricsRegistry]]:
     """Build (tracer, metrics) from a spec's optional ``obs`` parameter.
 
     ``obs`` is a JSON-safe dict -- ``{"trace": true, "trace_capacity": N,
@@ -36,7 +42,8 @@ def _make_obs(params: Mapping[str, Any]):
     results stay byte-identical to un-instrumented runs.
     """
     obs = params.get("obs") or {}
-    tracer = metrics = None
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
     if obs.get("trace"):
         from repro.obs import Tracer
         from repro.obs.tracer import DEFAULT_CAPACITY
@@ -54,7 +61,11 @@ def _make_obs(params: Mapping[str, Any]):
     return tracer, metrics
 
 
-def _attach_obs_result(result: Dict[str, Any], tracer, metrics) -> Dict[str, Any]:
+def _attach_obs_result(
+    result: Dict[str, Any],
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+) -> Dict[str, Any]:
     """Embed the deterministic observability rollup, if any was collected."""
     if tracer is not None or metrics is not None:
         from repro.obs import obs_payload

@@ -90,7 +90,7 @@ class SweepSpec:
     fixed: Mapping[str, Any] = field(default_factory=dict)
     root_seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.axes:
             raise ConfigurationError("a sweep needs at least one axis")
         for name, values in self.axes.items():
@@ -110,7 +110,7 @@ class SweepSpec:
 
     def job_key(self, assignment: Mapping[str, Any]) -> str:
         """Canonical key of one grid point (stable across runs)."""
-        parts = [self.kind] + [f"{k}={assignment[k]}" for k in self.axes]
+        parts = [self.kind, *(f"{k}={assignment[k]}" for k in self.axes)]
         return "/".join(parts)
 
     def expand(self) -> List[Job]:

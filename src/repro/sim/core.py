@@ -27,9 +27,23 @@ implementation, which is what keeps simulation results byte-identical.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.obs.profile import KernelProfile
 
 __all__ = [
     "Environment",
@@ -43,12 +57,18 @@ __all__ = [
 
 _INF = float("inf")
 
+# One scheduled entry: (absolute time, FIFO tie-break seq, callback, args).
+_QueueItem = Tuple[float, int, Callable[..., Any], Tuple[Any, ...]]
+
+# The generator type a Process wraps: yields events, receives their values.
+ProcessGenerator = Generator["Event", Any, Any]
+
 
 class Interrupt(Exception):
     """Thrown into a process that has been interrupted via
     :meth:`Process.interrupt`.  ``cause`` carries the interrupter's payload."""
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -63,7 +83,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -124,7 +144,9 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(
+        self, env: "Environment", delay: float, value: Any = None
+    ) -> None:
         if not (0.0 <= delay < _INF):
             raise SimulationError(
                 f"timeout delay must be finite and >= 0, got {delay!r}"
@@ -143,9 +165,9 @@ class _Started:
     ``ok``/``value``)."""
 
     __slots__ = ()
-    callbacks = None
-    ok = True
-    value = None
+    callbacks: ClassVar[None] = None
+    ok: ClassVar[bool] = True
+    value: ClassVar[None] = None
 
 
 _START = _Started()
@@ -160,7 +182,9 @@ class Process(Event):
 
     __slots__ = ("_generator", "_waiting_on", "_abandoned")
 
-    def __init__(self, env: "Environment", generator: Generator):
+    def __init__(
+        self, env: "Environment", generator: ProcessGenerator
+    ) -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(
                 "Process requires a generator (did you call the function?)"
@@ -196,7 +220,9 @@ class Process(Event):
             self._abandoned.append(waiting)
         wakeup = Event(self.env)
         wakeup.fail(Interrupt(cause))
-        wakeup.callbacks.append(self._resume)
+        callbacks = wakeup.callbacks
+        assert callbacks is not None  # cleared only when processed
+        callbacks.append(self._resume)
         self._waiting_on = wakeup
 
     def _resume(self, event: Any) -> None:
@@ -211,10 +237,11 @@ class Process(Event):
             return  # the process already finished; nothing to resume
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self._generator.send(event.value)
-            else:
-                target = self._generator.throw(event.value)
+            target = (
+                self._generator.send(event.value)
+                if event.ok
+                else self._generator.throw(event.value)
+            )
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
@@ -243,7 +270,7 @@ class _Condition(Event):
 
     __slots__ = ("_events", "_count")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
         self._count = 0
@@ -258,7 +285,7 @@ class _Condition(Event):
             else:
                 event.callbacks.append(self._on_fire)
 
-    def _collect(self) -> dict:
+    def _collect(self) -> Dict[Event, Any]:
         """Snapshot ``{event: value}`` of every input event whose outcome
         is already *decided* (triggered or processed).
 
@@ -316,9 +343,9 @@ class Environment:
     __slots__ = ("_now", "_queue", "_seq", "_profile", "_run", "_ridx",
                  "_running")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list = []
+        self._queue: List[_QueueItem] = []
         # FIFO tie-break for simultaneous events: a plain int sequence
         # (cheaper than itertools.count and picklable if ever needed).
         self._seq = 0
@@ -328,14 +355,14 @@ class Environment:
         # every sift during the run is O(log heap) of the *dynamic* event
         # population only.  _ridx is the cursor of the next unconsumed
         # entry.
-        self._run: list = []
+        self._run: List[_QueueItem] = []
         self._ridx = 0
         # True while run() is draining (schedule_batch then must push into
         # the heap: run() holds the sorted list in locals).
         self._running = False
         # Opt-in kernel profiling (repro.obs.KernelProfile); None keeps the
         # dispatch loop on its unobserved fast path.
-        self._profile = None
+        self._profile: Optional[KernelProfile] = None
 
     @property
     def now(self) -> float:
@@ -343,11 +370,11 @@ class Environment:
         return self._now
 
     @property
-    def profile(self):
+    def profile(self) -> Optional[KernelProfile]:
         """The attached :class:`~repro.obs.KernelProfile`, or ``None``."""
         return self._profile
 
-    def enable_profiling(self):
+    def enable_profiling(self) -> KernelProfile:
         """Attach (and return) a kernel profile counting every dispatch.
 
         Idempotent: repeated calls return the same profile.  Profiling
@@ -360,14 +387,14 @@ class Environment:
             self._profile = KernelProfile()
         return self._profile
 
-    def disable_profiling(self):
+    def disable_profiling(self) -> Optional[KernelProfile]:
         """Detach the kernel profile (returns it for final inspection)."""
         profile, self._profile = self._profile, None
         return profile
 
     # -- callback style ----------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` time units (fast path).
 
         ``delay`` must be finite and non-negative: NaN or infinite delays
@@ -383,7 +410,9 @@ class Environment:
         self._seq = seq + 1
         heapq.heappush(self._queue, (when, seq, fn, args))
 
-    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+    def schedule_at(
+        self, when: float, fn: Callable[..., Any], *args: Any
+    ) -> None:
         """Run ``fn(*args)`` at absolute time ``when`` (finite, >= now)."""
         if not (self._now <= when < _INF):
             raise SimulationError(
@@ -395,7 +424,8 @@ class Environment:
         heapq.heappush(self._queue, (when, seq, fn, args))
 
     def schedule_batch(
-        self, entries: Iterable[Tuple[float, Callable, tuple]]
+        self,
+        entries: Iterable[Tuple[float, Callable[..., Any], Tuple[Any, ...]]],
     ) -> int:
         """Bulk-schedule ``(when, fn, args)`` triples at absolute times.
 
@@ -411,7 +441,7 @@ class Environment:
         """
         now = self._now
         seq = self._seq
-        items = []
+        items: List[_QueueItem] = []
         append = items.append
         for when, fn, args in entries:
             if not (now <= when < _INF):
@@ -437,7 +467,7 @@ class Environment:
 
     # -- process style -----------------------------------------------------
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: ProcessGenerator) -> Process:
         """Register ``generator`` as a process; returns its Process event."""
         return Process(self, generator)
 
@@ -457,7 +487,9 @@ class Environment:
         """Composite event firing when every input event has fired."""
         return AllOf(self, events)
 
-    def _push(self, when: float, fn: Callable, args: tuple) -> None:
+    def _push(
+        self, when: float, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> None:
         """Internal unvalidated push (callers guarantee a sane ``when``)."""
         seq = self._seq
         self._seq = seq + 1

@@ -1,9 +1,31 @@
-"""Deterministic random-stream management.
+"""Deterministic random-stream management -- the *only* sanctioned RNG
+entry point in the library.
 
-Every stochastic component in the library (wiring randomization, traffic
-generation, jitter Monte Carlo, arbitration tie-breaking) draws from a named
-stream derived from a single experiment seed, so whole experiments are
+Every stochastic component (wiring randomization, traffic generation,
+jitter Monte Carlo, arbitration tie-breaking) draws from a named stream
+derived from a single experiment seed, so whole experiments are
 reproducible bit-for-bit while streams stay statistically independent.
+
+The contract, mechanically enforced by the ``RNG-001`` lint rule (run
+``repro-lint``; see DESIGN.md section 11):
+
+* No ``repro.*`` module other than this one may touch the module-global
+  generators -- no ``import random`` + ``random.random`` draws, no
+  ``numpy.random.seed``/``numpy.random.default_rng()`` without a derived
+  seed.  Global generators are hidden cross-cutting state: any import
+  that draws from them perturbs every later draw, silently changing
+  results between otherwise identical runs.
+* Instead, derive a child seed with :func:`derive_seed` and hold a
+  private generator from :func:`stream` (stdlib) or
+  :func:`numpy_stream` (numpy).  Streams are keyed by
+  ``(master_seed, name)`` through SHA-256, so adjacent seeds or similar
+  names still yield independent streams, and adding a new consumer
+  never shifts the draws of existing ones.
+* Type annotations may still *name* ``np.random.Generator``; RNG-001
+  flags uses, not types.
+
+See DESIGN.md section 7 ("Experiment runner") for how named streams
+compose with the sweep runner's per-job seed derivation.
 """
 
 from __future__ import annotations

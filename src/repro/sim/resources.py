@@ -8,7 +8,7 @@ FIFO of Python objects (e.g. a switch input queue).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.core import Environment, Event
@@ -27,7 +27,7 @@ class Resource:
         resource.release()
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.env = env
@@ -73,20 +73,22 @@ class Store:
     ``get`` blocks when it is empty.
     """
 
-    def __init__(self, env: Environment, capacity: Optional[int] = None):
+    def __init__(
+        self, env: Environment, capacity: Optional[int] = None
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._putters: Deque[Tuple[Event, Any]] = deque()  # (event, item)
 
     def __len__(self) -> int:
         return len(self._items)
 
     @property
-    def items(self) -> tuple:
+    def items(self) -> Tuple[Any, ...]:
         """A snapshot of stored items (oldest first)."""
         return tuple(self._items)
 

@@ -120,7 +120,7 @@ class TLMultiplicitySwitchCircuit:
                 )
             )
             # Footnote 4: m valid latches per input, one per path.
-            for path in range(m - 1):
+            for _path in range(m - 1):
                 circ.budget.add(GateType.LATCH)
 
         # Requests per (input, direction).

@@ -49,7 +49,7 @@ def save_trace(
             for messages in trace
         ],
     }
-    Path(path).write_text(json.dumps(document))
+    Path(path).write_text(json.dumps(document, allow_nan=False))
 
 
 def load_trace(path: Union[str, Path]) -> Tuple[Trace, str, int]:

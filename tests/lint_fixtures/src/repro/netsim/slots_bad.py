@@ -1,0 +1,14 @@
+"""SLOTS-001 true positive: a slot-less peer in a slotted hot module."""
+
+
+class Packet:
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+class Straggler:
+    def __init__(self):
+        self.payload = None

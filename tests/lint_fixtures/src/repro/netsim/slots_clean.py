@@ -1,0 +1,24 @@
+"""SLOTS-001 clean: every peer is slotted (or legitimately exempt)."""
+
+from dataclasses import dataclass
+
+
+class Packet:
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+class Marker(Packet):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Summary:
+    delivered: int
+
+
+class RoutingError(Exception):
+    pass

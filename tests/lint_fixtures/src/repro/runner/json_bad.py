@@ -1,0 +1,9 @@
+"""JSON-001 true positive: json.dump(s) that can emit bare NaN."""
+
+import json
+import json as _json
+
+
+def save(payload, fh):
+    json.dump(payload, fh)
+    return _json.dumps(payload, sort_keys=True)

@@ -1,0 +1,11 @@
+"""JSON-001 clean: every dump is NaN-safe."""
+
+import json
+
+from repro.runner.spec import canonical_json, json_safe
+
+
+def save(payload, fh):
+    json.dump(json_safe(payload), fh)
+    text = json.dumps(payload, sort_keys=True, allow_nan=False)
+    return text + canonical_json(payload)

@@ -1,0 +1,8 @@
+"""CLK-001 true positive: wall-clock reads inside simulation code."""
+
+import time
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time() + perf_counter()

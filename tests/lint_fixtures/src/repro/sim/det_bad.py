@@ -1,0 +1,8 @@
+"""DET-001 true positive: set iteration in a scope that schedules."""
+
+
+def drain(env, ready_ids):
+    waiting = set(ready_ids)
+    for node in waiting:
+        env.schedule(1.0, node.wake)
+    return [n for n in {1, 2, 3}]

@@ -1,0 +1,12 @@
+"""DET-001 clean: deterministic iteration order before scheduling."""
+
+
+def drain(env, ready_ids):
+    waiting = set(ready_ids)
+    for node in sorted(waiting):
+        env.schedule(1.0, node.wake)
+
+
+def tally(ready_ids):
+    # Set iteration with no scheduling in scope is order-insensitive.
+    return sum(1 for _ in set(ready_ids))

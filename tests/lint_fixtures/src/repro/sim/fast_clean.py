@@ -1,0 +1,13 @@
+"""FAST-001 clean: validated kernel entry points; unrelated heappush."""
+
+from heapq import heappush
+
+
+def hurry(env, fn, delay):
+    env.schedule(delay, fn)
+    env.schedule_at(env.now + delay, fn)
+
+
+def unrelated(backlog, item):
+    # heappush onto a non-event-queue container is not a fast path.
+    heappush(backlog, item)

@@ -1,0 +1,10 @@
+"""RNG-001 true positive: global RNG use inside a repro.* module."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    np.random.seed(7)
+    return random.random()

@@ -1,0 +1,18 @@
+"""RNG-001 clean: named streams only; annotations may name the type."""
+
+import numpy as np
+
+from repro.sim.rand import numpy_stream, stream
+
+
+def jitter(seed: int) -> float:
+    rng = stream(seed, "jitter")
+    return rng.random()
+
+
+def noise(seed: int) -> "np.random.Generator":
+    return numpy_stream(seed, "noise")
+
+
+def consume(rng: np.random.Generator) -> float:
+    return float(rng.random())

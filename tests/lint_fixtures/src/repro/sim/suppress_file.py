@@ -1,0 +1,9 @@
+"""Suppression fixture: file-level disable silences the whole file."""
+
+# repro-lint: disable=RNG-001
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,7 @@
+"""Suppression fixture: trailing disable silences only its line."""
+
+import random  # repro-lint: disable=RNG-001
+
+
+def jitter() -> float:
+    return random.random()

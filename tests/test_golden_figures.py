@@ -147,7 +147,8 @@ def regenerate():
     for name, builder in GOLDEN.items():
         path = GOLDEN_DIR / name
         path.write_text(
-            json.dumps(builder(), sort_keys=True, indent=1) + "\n"
+            json.dumps(builder(), sort_keys=True, indent=1, allow_nan=False)
+            + "\n"
         )
         print(f"wrote {path}")
 

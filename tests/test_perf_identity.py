@@ -103,7 +103,7 @@ class TestPerfHarness:
 
     def test_compare_reports_flags_regressions(self):
         report = run_perf_suite(quick=True, networks=("ideal",))
-        slower = json.loads(json.dumps(report))
+        slower = json.loads(json.dumps(report, allow_nan=False))
         slower["kernel"]["dispatch_events_per_s"] *= 0.5
         rows = compare_reports(report, slower)
         by_metric = {r["metric"]: r for r in rows}

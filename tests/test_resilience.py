@@ -212,10 +212,11 @@ class TestConservationProperty:
                     FaultInjector([FailStop(sid) for sid in failed],
                                   seed=seed)
                 )
-            if pattern == "transpose":
-                destinations = transpose(n)
-            else:
-                destinations = random_permutation(n, seed)
+            destinations = (
+                transpose(n)
+                if pattern == "transpose"
+                else random_permutation(n, seed)
+            )
             inject_open_loop(net, destinations, load, 3, seed=seed)
             net.run()
             ledger = audit_conservation(net)  # raises on violation

@@ -183,9 +183,9 @@ class TestCache:
         victim = entries[0]
         entry = json.loads(victim.read_text())
         entry["result"]["delivered"] = 10**9
-        victim.write_text(json.dumps(entry))
+        victim.write_text(json.dumps(entry, allow_nan=False))
         # Truncate another: not even valid JSON.
-        entries[1].write_text(json.dumps(entry)[: 40])
+        entries[1].write_text(json.dumps(entry, allow_nan=False)[: 40])
         warm = run_sweep(small_spec(), cache_dir=tmp_path)
         assert warm.report.poisoned == 2
         assert warm.report.executed == 2
@@ -310,10 +310,10 @@ class TestCliIntegration:
         ]
         out1 = tmp_path / "a.json"
         out2 = tmp_path / "b.json"
-        assert main(base + ["--jobs", "2", "--out", str(out1)]) == 0
+        assert main([*base, "--jobs", "2", "--out", str(out1)]) == 0
         first = capsys.readouterr().out
         assert "# sweep:" in first and "20 jobs" in first
-        assert main(base + ["--jobs", "1", "--out", str(out2)]) == 0
+        assert main([*base, "--jobs", "1", "--out", str(out2)]) == 0
         second = capsys.readouterr().out
         assert "0 executed, 20 cached" in second
         assert out1.read_bytes() == out2.read_bytes()
