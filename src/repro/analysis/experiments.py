@@ -265,16 +265,20 @@ def figure7_ratios(
     saturated electrical network at a short horizon); its ratio is
     meaningless, so such cells are *omitted* -- with a
     :class:`RuntimeWarning` naming them -- rather than propagated into
-    tables and geomeans.  A workload whose baseline cell is unusable is
-    dropped entirely.  Returns ``{workload: {network: ratio}}`` with
-    ``ratio == 1.0`` for the baseline.
+    tables and geomeans.  Cells absent from ``results`` entirely (a
+    partial sweep where the job failed, timed out, or was quarantined)
+    are treated the same way.  A workload whose baseline cell is
+    unusable is dropped entirely.  Returns ``{workload: {network:
+    ratio}}`` with ``ratio == 1.0`` for the baseline.
     """
     import math
     import warnings
 
     ratios: Dict[str, Dict[str, float]] = {}
     for workload, per_net in results.items():
-        base = per_net[baseline].average_latency
+        base_stats = per_net.get(baseline)
+        base = (base_stats.average_latency if base_stats is not None
+                else float("nan"))
         if not math.isfinite(base) or base <= 0:
             warnings.warn(
                 f"fig7: skipping workload {workload!r}: {baseline} "
@@ -285,7 +289,9 @@ def figure7_ratios(
             continue
         row: Dict[str, float] = {}
         for name in networks:
-            avg = per_net[name].average_latency
+            stats = per_net.get(name)
+            avg = (stats.average_latency if stats is not None
+                   else float("nan"))
             if not math.isfinite(avg) or avg <= 0:
                 warnings.warn(
                     f"fig7: skipping cell ({workload!r}, {name!r}): "

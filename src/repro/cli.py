@@ -25,7 +25,20 @@ Sweep-backed commands (``table5``, ``fig6``, ``fig7``, ``fig9``,
   cache under D (a warm rerun executes zero simulations);
 * ``--no-cache``     -- ignore any cache and recompute everything;
 * ``--out F``        -- also write the canonical results JSON to F;
-* ``--progress``     -- stream per-job timing lines to stderr.
+* ``--progress``     -- stream per-job timing lines to stderr;
+* ``--timeout S``    -- cancel any single cell still running after S
+  seconds (reported as ``timeout``, other cells unaffected);
+* ``--deadline S``   -- sweep-level wall-clock budget;
+* ``--retries N``    -- retry failing cells up to N times (deterministic
+  exponential backoff) before quarantining them;
+* ``--resume [F]``   -- checkpoint completions to journal F (default
+  ``repro-<command>.journal.jsonl``) and skip jobs already recorded
+  there, so an interrupted campaign continues byte-identically.
+
+Sweep commands run in record mode: a failing cell is reported on stderr
+instead of aborting the grid, and the exit code is the partial-failure
+contract -- 0 every cell ok, 1 some cells failed, 2 no cell produced a
+result.
 """
 
 from __future__ import annotations
@@ -40,7 +53,19 @@ __all__ = ["main", "build_parser"]
 
 
 def _progress_printer(event: dict) -> None:
-    status = "cached" if event["cached"] else f"{event['elapsed_s']:.2f}s"
+    if "event" in event:
+        # Structured engine event (serial fallback, retry, pool rebuild).
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(event.items()) if k != "event"
+        )
+        print(f"[engine] {event['event']}: {detail}", file=sys.stderr)
+        return
+    if event.get("status") not in (None, "ok"):
+        status = event["status"]
+    elif event["cached"]:
+        status = "cached"
+    else:
+        status = f"{event['elapsed_s']:.2f}s"
     print(
         f"[{event['index'] + 1}/{event['total']}] {event['key']} ({status})",
         file=sys.stderr,
@@ -49,20 +74,50 @@ def _progress_printer(event: dict) -> None:
 
 def _sweep_kwargs(args) -> dict:
     """run_sweep keyword payload from the shared sweep CLI flags."""
+    from repro.runner import FaultPolicy
+
+    resume = args.resume
+    if resume == "auto":
+        resume = f"repro-{args.command}.journal.jsonl"
     return dict(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=_progress_printer if args.progress else None,
+        # Record mode: one poisoned cell yields a partial table and exit
+        # code 1, never a lost grid (see DESIGN.md section 12).
+        policy=FaultPolicy(
+            job_timeout_s=args.timeout,
+            deadline_s=args.deadline,
+            max_attempts=1 + args.retries,
+            on_error="record",
+        ),
+        resume=resume,
     )
 
 
-def _finish_sweep(args, sweep) -> None:
-    """Write ``--out`` and print the per-sweep execution report."""
+def _finish_sweep(args, sweep) -> int:
+    """Write ``--out``, print the execution report, return the exit code.
+
+    Exit-code contract: 0 = every cell produced a result, 1 = partial
+    failure (some cells failed/timed out/quarantined), 2 = total failure
+    (no cell produced a result).
+    """
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(sweep.to_json())
+    for outcome in sweep.failures():
+        error = outcome.error or {}
+        print(
+            f"# FAILED {outcome.job.key}: {outcome.status} "
+            f"({error.get('type')}: {error.get('message')}; "
+            f"attempts={error.get('attempts')})",
+            file=sys.stderr,
+        )
     print(f"# sweep: {sweep.report.describe()}")
+    if sweep.ok:
+        return 0
+    return 1 if any(outcome.ok for outcome in sweep.outcomes) else 2
 
 
 def _cmd_table4(args) -> None:
@@ -100,7 +155,7 @@ def _cmd_table5(args) -> None:
         ],
         title=f"Table V -- multiplicity sweep ({args.nodes} nodes)",
     ))
-    _finish_sweep(args, sweep)
+    return _finish_sweep(args, sweep)
 
 
 def _cmd_fig6(args) -> None:
@@ -136,7 +191,7 @@ def _cmd_fig6(args) -> None:
                 ylabel="avg latency (ns)",
             ))
         print()
-    _finish_sweep(args, sweep)
+    return _finish_sweep(args, sweep)
 
 
 def _cmd_fig7(args) -> None:
@@ -170,7 +225,7 @@ def _cmd_fig7(args) -> None:
         title=f"Fig. 7 -- avg latency normalized to Baldur "
         f"({args.nodes} nodes)",
     ))
-    _finish_sweep(args, sweep)
+    return _finish_sweep(args, sweep)
 
 
 def _cmd_fig8(args) -> None:
@@ -199,7 +254,7 @@ def _cmd_fig9(args) -> None:
     ]
     print(format_table(["case", *networks], rows,
                        title="Fig. 9 -- Baldur advantage (1M scale)"))
-    _finish_sweep(args, sweep)
+    return _finish_sweep(args, sweep)
 
 
 def _cmd_fig10(args) -> None:
@@ -327,7 +382,7 @@ def _cmd_resilience(args) -> None:
         title=f"Degraded mode -- faulty switch (stage {fault['stage']}, "
         f"switch {fault['switch']})",
     ))
-    _finish_sweep(args, sweep)
+    return _finish_sweep(args, sweep)
 
 
 def _cmd_perf(args) -> int:
@@ -472,6 +527,23 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--progress", action="store_true",
                 help="stream per-job timing lines to stderr")
+            p.add_argument(
+                "--timeout", type=float, default=None, metavar="S",
+                help="cancel any cell still running after S seconds "
+                     "(reported as 'timeout'; other cells unaffected)")
+            p.add_argument(
+                "--deadline", type=float, default=None, metavar="S",
+                help="sweep-level wall-clock budget in seconds")
+            p.add_argument(
+                "--retries", type=int, default=0, metavar="N",
+                help="retry a failing cell up to N times (deterministic "
+                     "exponential backoff) before quarantining it")
+            p.add_argument(
+                "--resume", nargs="?", const="auto", default=None,
+                metavar="F",
+                help="checkpoint completions to journal F (default "
+                     "repro-<command>.journal.jsonl) and skip cells "
+                     "already recorded there")
         for arg, kwargs in extra.items():
             p.add_argument(f"--{arg}", **kwargs)
         return p

@@ -37,6 +37,16 @@ class FaultInjectionError(ReproError):
     MTBF/MTTR), or attaching faults to a network that cannot host them."""
 
 
+class SweepExecutionError(ReproError):
+    """Raised by the sweep engine when execution cannot continue and the
+    fault policy says failures must abort (``on_error="raise"``): a job
+    timed out or exhausted its retry budget, the worker pool broke more
+    often than ``max_pool_rebuilds`` allows, or the sweep-level deadline
+    expired with jobs still pending.  With ``on_error="record"`` the same
+    conditions become per-job :class:`~repro.runner.JobOutcome` statuses
+    instead and the sweep returns partial results."""
+
+
 class InvariantViolationError(ReproError):
     """Raised when the packet-conservation audit detects a leak: the ledger
     ``injected = delivered + terminally dropped + given up + in flight``

@@ -16,10 +16,21 @@ Guarantees:
   and adding a point to a sweep never perturbs the other points.
 * **Cache safety** -- cache entries embed a digest of their own payload
   and are keyed by the code fingerprint; corrupted, tampered, or stale
-  entries are detected and recomputed, never served.
+  entries are detected and recomputed, never served; writes are atomic
+  (temp file + fsync + ``os.replace``), so a killed worker can never
+  leave a truncated entry.
+* **Fault tolerance** -- worker crashes rebuild the pool and re-dispatch
+  only the in-flight jobs; :class:`~repro.runner.policy.FaultPolicy`
+  adds per-job timeouts, a sweep deadline, deterministic retry/backoff
+  with poison-job quarantine, and record-instead-of-raise partial
+  results; ``resume=<journal>`` checkpoints completions to an
+  append-only JSONL journal (:class:`~repro.runner.journal.SweepJournal`)
+  so an interrupted campaign resumes byte-identically.
 * **Observability** -- every run returns a :class:`~repro.runner.engine.
-  SweepReport` with per-job wall times and executed/cached/poisoned
-  counts, and accepts a progress callback.
+  SweepReport` with per-job wall times, executed/cached/resumed/poisoned
+  counts, fault counters (retries, crashes, rebuilds, fallbacks), and
+  accepts a progress callback that also receives structured engine
+  events.
 """
 
 from repro.runner.cache import ResultCache, code_fingerprint
@@ -30,17 +41,24 @@ from repro.runner.engine import (
     resolve_jobs,
     run_sweep,
 )
+from repro.runner.faults import InjectedWorkerFault, WorkerFaultPlan
 from repro.runner.jobs import JOB_KINDS, execute_job
+from repro.runner.journal import SweepJournal
+from repro.runner.policy import FaultPolicy
 from repro.runner.spec import Job, SweepSpec, canonical_json
 
 __all__ = [
+    "FaultPolicy",
+    "InjectedWorkerFault",
     "Job",
     "JobOutcome",
     "JOB_KINDS",
     "ResultCache",
+    "SweepJournal",
     "SweepReport",
     "SweepResult",
     "SweepSpec",
+    "WorkerFaultPlan",
     "canonical_json",
     "code_fingerprint",
     "execute_job",

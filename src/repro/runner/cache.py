@@ -129,7 +129,15 @@ class ResultCache:
         return cast(Dict[str, Any], entry["result"])
 
     def put(self, cache_key: str, job: Job, result: Any) -> Path:
-        """Atomically persist one completed job result."""
+        """Atomically persist one completed job result.
+
+        The entry is written to a temp file *in the cache directory*,
+        flushed and fsynced, then ``os.replace``d into place -- a worker
+        killed mid-write (SIGKILL, OOM, power loss) can leave a stale
+        ``.tmp.<pid>`` sibling but never a truncated entry file, and
+        readers only ever open the exact entry path.  Stale temp files
+        from dead writers are swept opportunistically.
+        """
         path = self.entry_path(cache_key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -144,10 +152,16 @@ class ResultCache:
             "result": json_safe(result),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1,
-                                  allow_nan=False),
-                       encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True, indent=1,
+                                allow_nan=False))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        for stale in path.parent.glob(f"{cache_key[:8]}*.tmp.*"):
+            if stale != tmp:
+                with contextlib.suppress(OSError):
+                    os.unlink(stale)
         return path
 
     def _poison(self, path: Path) -> None:

@@ -1,0 +1,109 @@
+"""Injectable worker-fault plans: deterministic chaos for the engine.
+
+A :class:`WorkerFaultPlan` scripts misbehaviour *inside worker
+processes* -- crash the interpreter, hang past the job timeout, raise,
+or return a corrupt result -- keyed by job key and dispatch number.  It
+is the execution-layer sibling of :mod:`repro.faults` (which injects
+faults into the *simulated network*): tests hand a plan to
+:func:`~repro.runner.engine.run_sweep` to prove that crash recovery,
+timeout cancellation, retry/quarantine, and checkpoint/resume actually
+work, without monkeypatching executor internals.
+
+Plans are plain frozen dataclasses so they pickle into
+``ProcessPoolExecutor`` workers, and they are entirely script-driven --
+no randomness, no wall-clock decisions -- so a faulty run is exactly as
+reproducible as a healthy one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = ["InjectedWorkerFault", "WorkerFaultPlan", "CORRUPT_RESULT"]
+
+_ACTIONS = ("ok", "fail", "crash", "hang", "corrupt")
+
+CORRUPT_RESULT: Tuple[str, ...] = ("__corrupt__",)
+"""What a ``corrupt`` action returns in place of a result dict.  Any
+non-dict return is treated by the engine as a corrupt result and consumes
+a retry attempt, exactly like an executor exception."""
+
+
+class InjectedWorkerFault(ReproError):
+    """The exception a scripted ``fail`` action raises inside the worker.
+
+    Defined at module scope (and carrying only its message) so it pickles
+    cleanly back across the process boundary to the supervising engine.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Scripted per-job worker misbehaviour, by dispatch number.
+
+    ``actions`` maps a job key to the sequence of actions its successive
+    dispatches perform: ``{"open_loop/.../load=0.7": ("crash", "ok")}``
+    crashes the worker on the first dispatch and succeeds on the
+    re-dispatch.  Dispatches beyond the end of the sequence (and jobs not
+    named at all) run normally, so a plan describes only the faults.
+
+    Actions:
+
+    * ``ok``      -- run the job normally;
+    * ``fail``    -- raise :class:`InjectedWorkerFault`;
+    * ``crash``   -- kill the worker process with ``os._exit`` (the
+      supervisor sees ``BrokenProcessPool``);
+    * ``hang``    -- sleep ``hang_s`` seconds (far past any test timeout)
+      before running, simulating a wedged job;
+    * ``corrupt`` -- return :data:`CORRUPT_RESULT` instead of a result
+      dict, simulating a worker that scrambled its payload.
+    """
+
+    actions: Mapping[str, Sequence[str]] = field(default_factory=dict)
+    hang_s: float = 600.0
+    exit_code: int = 139
+
+    def __post_init__(self) -> None:
+        for key, plan in self.actions.items():
+            for action in plan:
+                if action not in _ACTIONS:
+                    raise ConfigurationError(
+                        f"unknown fault action {action!r} for job "
+                        f"{key!r}; expected one of {_ACTIONS}"
+                    )
+
+    def action(self, key: str, dispatch: int) -> str:
+        """The scripted action for dispatch ``dispatch`` (1-based) of
+        ``key``; ``"ok"`` when the script has nothing to say."""
+        plan = self.actions.get(key)
+        if plan is None or not 1 <= dispatch <= len(plan):
+            return "ok"
+        return plan[dispatch - 1]
+
+    def apply(self, key: str, dispatch: int) -> Optional[Any]:
+        """Run the scripted action inside the worker.
+
+        Returns ``None`` to proceed with normal execution, or a
+        replacement "result" object (the ``corrupt`` action).  ``fail``
+        raises, ``crash`` never returns, ``hang`` sleeps then proceeds.
+        """
+        action = self.action(key, dispatch)
+        if action == "ok":
+            return None
+        if action == "fail":
+            raise InjectedWorkerFault(
+                f"injected failure for {key!r} (dispatch {dispatch})"
+            )
+        if action == "crash":
+            # os._exit skips atexit/finally machinery: the pool sees the
+            # worker vanish exactly as it would on a segfault or OOM kill.
+            os._exit(self.exit_code)
+        if action == "hang":
+            time.sleep(self.hang_s)
+            return None
+        return CORRUPT_RESULT

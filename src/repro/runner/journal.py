@@ -1,0 +1,160 @@
+"""Append-only sweep journal: crash recovery for long campaigns.
+
+A :class:`SweepJournal` is a JSONL checkpoint written next to the result
+cache: a header line identifying the sweep (spec payload + code
+fingerprint) followed by one self-verifying record per *successfully*
+completed job.  :func:`~repro.runner.engine.run_sweep` appends a record
+-- flushed and fsynced -- the moment each job finishes, so a SIGKILL'd
+or power-cut campaign loses at most the jobs that were in flight.
+
+Resume semantics (``run_sweep(..., resume=path)`` / ``repro-bench ...
+--resume``): records whose header matches the current spec and code are
+trusted and their jobs are not re-executed; everything else -- a missing
+or torn record, a failed job (never journaled), a journal from a
+different spec or code version (stale header) -- is recomputed.  Because
+job results are pure functions of the spec and results are reassembled
+in expansion order, a resumed run's ``SweepResult.to_json()`` is
+byte-identical to an uninterrupted one.
+
+Torn-write tolerance: a record is one line ending in ``\\n`` carrying a
+digest of its own result; a crash mid-append leaves a final line that
+either fails to parse or fails its digest, and loading skips it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+from repro.runner.cache import code_fingerprint, result_digest
+from repro.runner.spec import SweepSpec, canonical_json
+
+__all__ = ["SweepJournal"]
+
+JOURNAL_VERSION = 1
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of one sweep's completed jobs."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        spec: SweepSpec,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._header = canonical_json({
+            "journal": JOURNAL_VERSION,
+            "spec": spec.payload(),
+            "code": (
+                fingerprint if fingerprint is not None else code_fingerprint()
+            ),
+        })
+        self._fh: Optional[TextIO] = None
+        self._matched = False
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Trusted completed results by job key (empty when starting fresh).
+
+        A journal written for a different spec or code version is *stale*:
+        none of its records are trusted and :meth:`begin` will truncate
+        it.  Torn or tampered records are skipped individually.
+        """
+        self._matched = False
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except (FileNotFoundError, OSError, UnicodeDecodeError):
+            return {}
+        if not lines or lines[0] != self._header:
+            return {}
+        self._matched = True
+        records: Dict[str, Dict[str, Any]] = {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a mid-append crash
+            if not isinstance(record, dict):
+                continue
+            key = record.get("key")
+            result = record.get("result")
+            if (
+                not isinstance(key, str)
+                or not isinstance(result, dict)
+                or record.get("digest") != result_digest(result)
+            ):
+                continue
+            records[key] = result
+        return records
+
+    # -- writing -------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open the journal for appending, (re)writing the header if the
+        file is missing, torn, or belongs to a different spec/code."""
+        if self._fh is not None:
+            return
+        if not self._matched:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(self._header + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._matched = True
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def record(self, key: str, result: Dict[str, Any]) -> None:
+        """Durably append one completed job (flush + fsync per record, so
+        a kill immediately afterwards cannot lose it)."""
+        assert self._fh is not None, "SweepJournal.begin() not called"
+        line = canonical_json({
+            "key": key,
+            "result": result,
+            "digest": result_digest(result),
+        })
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        self.begin()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- export --------------------------------------------------------------
+
+    def to_jsonl(self, target: Union[str, Path, TextIO]) -> int:
+        """Copy the journal's lines to ``target``; returns the line count.
+
+        Matches the exporter protocol of :mod:`repro.obs.artifacts`, so a
+        failing fault-tolerance test can register its journal and CI
+        uploads it with the other failure artifacts.
+        """
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except (FileNotFoundError, OSError):
+            lines = []
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                for line in lines:
+                    fh.write(line + "\n")
+        else:
+            for line in lines:
+                target.write(line + "\n")
+        return len(lines)

@@ -135,3 +135,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "=baldur" in out  # plot legend
         assert "input load" in out
+
+
+class TestFaultFlags:
+    TINY = ["fig6", "--nodes", "16", "--packets", "3", "--loads", "0.5"]
+
+    def test_sweep_flags_parse(self):
+        args = build_parser().parse_args(self.TINY + [
+            "--timeout", "30", "--deadline", "600",
+            "--retries", "2", "--resume",
+        ])
+        assert args.timeout == 30.0
+        assert args.deadline == 600.0
+        assert args.retries == 2
+        assert args.resume == "auto"  # bare --resume picks the default
+
+    def test_resume_round_trip_is_byte_identical(self, tmp_path, capsys):
+        journal = tmp_path / "fig6.journal.jsonl"
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        assert main(self.TINY + ["--resume", str(journal),
+                                 "--out", str(out_a)]) == 0
+        first = capsys.readouterr().out
+        assert "resumed" not in first
+        assert main(self.TINY + ["--resume", str(journal),
+                                 "--out", str(out_b)]) == 0
+        second = capsys.readouterr().out
+        assert "20 resumed" in second  # warm run executed nothing
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_partial_failure_exits_1_and_reports(self, monkeypatch, capsys):
+        import repro.runner.engine as engine
+
+        real = engine._timed_execute
+
+        def flaky(kind, params, key="", dispatch=1, plan=None):
+            if params.get("network") == "ideal":
+                raise ValueError("injected CLI failure")
+            return real(kind, params, key, dispatch, plan)
+
+        monkeypatch.setattr(engine, "_timed_execute", flaky)
+        assert main(self.TINY) == 1
+        captured = capsys.readouterr()
+        assert "# FAILED" in captured.err
+        assert "injected CLI failure" in captured.err
+        assert "failed" in captured.out  # report line counts failures
+
+    def test_total_failure_exits_2(self, monkeypatch, capsys):
+        import repro.runner.engine as engine
+
+        def doomed(kind, params, key="", dispatch=1, plan=None):
+            raise ValueError("nothing works")
+
+        monkeypatch.setattr(engine, "_timed_execute", doomed)
+        assert main(self.TINY) == 2
+        assert "# FAILED" in capsys.readouterr().err

@@ -235,6 +235,25 @@ class TestCache:
         (tmp_path / "b.py").write_text("B = 2\n")
         assert code_fingerprint(tmp_path) != first
 
+    def test_writes_are_atomic_against_torn_writers(self, tmp_path):
+        # A worker killed mid-put leaves a stale .tmp sibling, never a
+        # truncated entry: put() writes to a temp file and os.replace()s.
+        spec = small_spec(loads=(0.5,), networks=("ideal",))
+        (job,) = spec.expand()
+        cache = ResultCache(tmp_path)
+        key = cache.job_cache_key(job)
+        path = cache.entry_path(key)
+        # Simulate the dead writer's debris before the real write.
+        path.parent.mkdir(parents=True, exist_ok=True)
+        torn = path.parent / f"{key}.json.tmp.99999"
+        torn.write_text('{"cache_key": "trunca')
+        cache.put(key, job, {"delivered": 1})
+        entry = json.loads(path.read_text())
+        assert entry["result"] == {"delivered": 1}
+        assert cache.get(key) == {"delivered": 1}
+        # The stale temp file was swept; no .tmp debris remains.
+        assert not list(path.parent.glob("*.tmp.*"))
+
 
 class TestParallel:
     def test_parallel_matches_serial_bit_for_bit(self):
@@ -248,6 +267,34 @@ class TestParallel:
         assert cold.report.executed == cold.report.n_jobs
         assert warm.report.executed == 0
         assert warm.to_json() == cold.to_json()
+
+    def test_pool_unavailable_falls_back_loudly(self, monkeypatch):
+        # Satellite regression: the serial fallback used to be silent.
+        # Force pool creation to fail and assert every announcement
+        # channel fires: RuntimeWarning, structured progress event, and
+        # SweepReport.fallback.
+        import repro.runner.engine as engine
+
+        def no_pool(workers, n_jobs):
+            return None
+
+        monkeypatch.setattr(engine, "_make_pool", no_pool)
+        events = []
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            sweep = run_sweep(small_spec(), jobs=2, progress=events.append)
+        assert sweep.ok
+        assert sweep.report.fallback == "serial"
+        assert not sweep.report.parallel
+        assert sweep.report.counters.get("serial_fallbacks") == 1
+        fallback_events = [e for e in events if e.get("event") == "fallback"]
+        assert fallback_events == [{
+            "event": "fallback",
+            "mode": "serial",
+            "reason": "process pool unavailable",
+        }]
+        assert "[serial fallback]" in sweep.report.describe()
+        # Results are unaffected by the degraded execution mode.
+        assert sweep.to_json() == run_sweep(small_spec(), jobs=1).to_json()
 
 
 class TestCanonicalJson:
