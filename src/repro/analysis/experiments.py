@@ -23,13 +23,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro import constants as C
-from repro.core.baldur_network import BaldurNetwork
-from repro.electrical import (
-    DragonflyNetwork,
-    FatTreeNetwork,
-    IdealNetwork,
-    MultiButterflyNetwork,
-)
 from repro.errors import ConfigurationError
 from repro.netsim.stats import LatencyStats, StatsSummary
 from repro.traffic import (
@@ -57,6 +50,10 @@ __all__ = [
     "table5",
     "table5_spec",
     "reshape_table5",
+    "ZOO_NETWORKS",
+    "zoo_spec",
+    "zoo_compare",
+    "reshape_zoo",
     "figure9_spec",
 ]
 
@@ -69,22 +66,18 @@ they managed to deliver by this time, as in any fixed-horizon replay."""
 
 
 def build_network(name: str, n_nodes: int, seed: int = 0):
-    """Construct one of the Sec. V networks by name (Table VI configs)."""
-    if name == "baldur":
-        return BaldurNetwork(
-            n_nodes, multiplicity=C.BALDUR_MULTIPLICITY, seed=seed
-        )
-    if name == "multibutterfly":
-        return MultiButterflyNetwork(
-            n_nodes, multiplicity=C.BALDUR_MULTIPLICITY, seed=seed
-        )
-    if name == "dragonfly":
-        return DragonflyNetwork(n_nodes, seed=seed)
-    if name == "fattree":
-        return FatTreeNetwork(n_nodes, seed=seed)
-    if name == "ideal":
-        return IdealNetwork(n_nodes)
-    raise ConfigurationError(f"unknown network {name!r}")
+    """Construct a Sec. V network (or any zoo architecture) by name.
+
+    Delegates to the :mod:`repro.zoo` architecture registry, whose
+    builders construct the exact classes and arguments this function
+    historically hand-wired (Table VI configs) -- pinned byte-identical
+    by the goldens and the registry↔legacy suite in ``tests/test_zoo.py``.
+    """
+    # Lazy import: the zoo pulls in every simulator package, and most
+    # analysis imports (power tables, plotting) never build a network.
+    from repro.zoo import build_network as zoo_build
+
+    return zoo_build(name, n_nodes, seed=seed)
 
 
 def pattern_destinations(pattern: str, n_nodes: int, seed: int = 0) -> Dict[int, int]:
@@ -389,6 +382,78 @@ def table5(
         progress=progress,
     )
     return reshape_table5(sweep)
+
+
+ZOO_NETWORKS = ("baldur", "rotor")
+"""The architecture-zoo comparison: the paper's network against the
+RotorNet-style rotor fabric built from registry components."""
+
+
+def zoo_spec(
+    n_nodes: int = 64,
+    loads: Iterable[float] = (0.1, 0.4, 0.7),
+    pattern: str = "random_permutation",
+    packets_per_node: int = 20,
+    networks: Iterable[str] = ZOO_NETWORKS,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+):
+    """Baldur vs. the rotor architecture as a declarative sweep spec.
+
+    Reuses the ``open_loop`` job kind unchanged: cells resolve their
+    network through :func:`build_network`, which goes through the
+    :mod:`repro.zoo` registry, so any registered architecture name is a
+    valid axis value.
+    """
+    from repro.runner import SweepSpec
+
+    return SweepSpec(
+        kind="open_loop",
+        axes={
+            "network": tuple(networks),
+            "load": tuple(loads),
+        },
+        fixed={
+            "n_nodes": n_nodes,
+            "pattern": pattern,
+            "packets_per_node": packets_per_node,
+            "until": until,
+        },
+        root_seed=seed,
+    )
+
+
+def reshape_zoo(sweep) -> Dict[str, Dict[float, StatsSummary]]:
+    """``result[network][load] -> StatsSummary``."""
+    return sweep.index("network", "load", value=StatsSummary.from_dict)
+
+
+def zoo_compare(
+    n_nodes: int = 64,
+    loads: Iterable[float] = (0.1, 0.4, 0.7),
+    pattern: str = "random_permutation",
+    packets_per_node: int = 20,
+    networks: Iterable[str] = ZOO_NETWORKS,
+    seed: int = 0,
+    until: float = DEFAULT_UNTIL_NS,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress=None,
+) -> Dict[str, Dict[float, StatsSummary]]:
+    """Run the zoo comparison sweep.
+
+    Returns ``result[network][load] -> StatsSummary``.
+    """
+    from repro.runner import run_sweep
+
+    sweep = run_sweep(
+        zoo_spec(n_nodes, loads, pattern, packets_per_node,
+                 networks, seed, until),
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        progress=progress,
+    )
+    return reshape_zoo(sweep)
 
 
 def figure9_spec(scale: int = 2**20, cases: Optional[Iterable[str]] = None):

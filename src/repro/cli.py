@@ -15,9 +15,11 @@ Usage::
     python -m repro.cli diagnose --nodes 64 --stage 2 --switch 13
     python -m repro.cli resilience --nodes 64 --packets 20
     python -m repro.cli trace --network baldur --nodes 64 --load 0.9
+    python -m repro.cli zoo --list
+    python -m repro.cli zoo --nodes 64 --networks baldur rotor
 
 Sweep-backed commands (``table5``, ``fig6``, ``fig7``, ``fig9``,
-``resilience``) additionally accept:
+``resilience``, ``zoo``) additionally accept:
 
 * ``--jobs N``       -- run grid cells on N worker processes (default
   ``$REPRO_JOBS`` or 1); results are bit-identical to ``--jobs 1``;
@@ -385,6 +387,52 @@ def _cmd_resilience(args) -> None:
     return _finish_sweep(args, sweep)
 
 
+def _cmd_zoo(args) -> int:
+    """Architecture-zoo comparison sweep (or ``--list`` the registry)."""
+    from repro import zoo
+
+    if args.list:
+        print("# architectures (topology x routing x switch x scheduler)")
+        for name in zoo.architectures():
+            spec = zoo.architecture(name)
+            print(f"  {spec.describe()}")
+            if spec.summary:
+                print(f"      {spec.summary}")
+        print()
+        for registry in (zoo.TOPOLOGIES, zoo.ROUTINGS, zoo.SWITCHES,
+                         zoo.SCHEDULERS):
+            print(f"# {registry.kind} components")
+            for cname in registry.names():
+                print(f"  {registry.get(cname).describe()}")
+            print()
+        return 0
+
+    from repro.analysis.experiments import reshape_zoo, zoo_spec
+    from repro.runner import run_sweep
+
+    sweep = run_sweep(
+        zoo_spec(
+            n_nodes=args.nodes,
+            loads=tuple(args.loads),
+            pattern=args.pattern,
+            packets_per_node=args.packets,
+            networks=tuple(args.networks),
+            seed=args.seed,
+        ),
+        **_sweep_kwargs(args),
+    )
+    grid = reshape_zoo(sweep)
+    print(format_latency_grid(
+        grid, metric="average_latency",
+        title=f"Architecture zoo -- average latency (ns), "
+        f"{args.nodes} nodes, {args.pattern}"))
+    print()
+    print(format_latency_grid(
+        grid, metric="tail_latency",
+        title="Architecture zoo -- p99 latency (ns)"))
+    return _finish_sweep(args, sweep)
+
+
 def _cmd_perf(args) -> int:
     """Run the performance benchmark suite and write ``BENCH_perf.json``."""
     import os
@@ -560,6 +608,18 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig7", _cmd_fig7, sweep=True,
         nodes=dict(type=int, default=128),
         packets=dict(type=int, default=20))
+    zoo = add("zoo", _cmd_zoo, sweep=True,
+              nodes=dict(type=int, default=64),
+              packets=dict(type=int, default=20),
+              pattern=dict(default="random_permutation"))
+    zoo.add_argument("--list", action="store_true",
+                     help="list registered architectures and components")
+    zoo.add_argument("--loads", type=float, nargs="+",
+                     default=[0.1, 0.4, 0.7])
+    zoo.add_argument("--networks", nargs="+",
+                     default=["baldur", "rotor"],
+                     help="architecture names to compare (any registry "
+                          "entry)")
     trace = add(
         "trace", _cmd_trace,
         network=dict(default="baldur",

@@ -46,6 +46,7 @@ HOT_CLOCK_PREFIXES = (
     "repro.core",
     "repro.netsim",
     "repro.electrical",
+    "repro.zoo",
 )
 """Packages in which CLK-001 and DET-001 apply (the simulation core).
 
@@ -54,7 +55,12 @@ Wall-clock reads are allowed only in measurement/driver layers
 the CLI) where they feed reports, never simulation state.
 """
 
-SLOTS_MODULES = ("repro.sim.core", "repro.core.baldur_network")
+SLOTS_MODULES = (
+    "repro.sim.core",
+    "repro.core.baldur_network",
+    "repro.zoo.rotor",
+    "repro.topology.rotor",
+)
 """Exact modules (plus the ``repro.netsim`` package) checked by SLOTS-001."""
 
 FAST_PATH_ALLOWLIST = frozenset({

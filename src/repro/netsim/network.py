@@ -97,8 +97,18 @@ class NetworkSimulator:
 
         Injection is scheduled, so :meth:`submit` may be called before
         :meth:`run` (open loop) or from a delivery hook (closed loop).
+
+        Validate-then-commit: a rejected submission (bad endpoints or a
+        past timestamp) raises *before* any state is touched, so the
+        stats ledger, the conservation ledger, and the pid counter are
+        exactly as they were -- a failed submit never poisons a later
+        :meth:`audit`.
         """
         self._validate_endpoints(src, dst)
+        if time < self.env.now:
+            raise ConfigurationError(
+                f"cannot submit in the past: t={time} < now={self.env.now}"
+            )
         packet = Packet(
             pid=self._alloc_pid(),
             src=src,
@@ -108,10 +118,6 @@ class NetworkSimulator:
         )
         self.stats.record_injection()
         self._outstanding.add(packet.pid)
-        if time < self.env.now:
-            raise ConfigurationError(
-                f"cannot submit in the past: t={time} < now={self.env.now}"
-            )
         self.env.schedule_at(time, self._inject, packet)
         return packet
 
@@ -124,19 +130,31 @@ class NetworkSimulator:
         :meth:`~repro.sim.Environment.schedule_batch`, which heapifies
         once instead of pushing one event at a time when the queue is
         empty -- the open-loop pre-scheduling case.
+
+        The batch is all-or-nothing: every entry is validated before any
+        state is committed, so one bad entry (out-of-range endpoint or a
+        past timestamp) raises with stats, pids, the conservation
+        ledger, and the event queue untouched -- never a half-submitted
+        batch that a later :meth:`audit` flags as a leak.
         """
         now = self.env.now
-        record_injection = self.stats.record_injection
-        outstanding_add = self._outstanding.add
-        inject = self._inject
-        packets: List[Packet] = []
-        to_schedule = []
-        for src, dst, size_bytes, time in entries:
+        batch = list(entries)
+        # Pass 1: validate everything; nothing below this loop can fail.
+        for src, dst, _size_bytes, time in batch:
             self._validate_endpoints(src, dst)
             if time < now:
                 raise ConfigurationError(
                     f"cannot submit in the past: t={time} < now={now}"
                 )
+        # Pass 2: commit -- same pid allocation, stats, ledger, and event
+        # order per entry as pass-free submission, so successful batches
+        # are byte-identical to the pre-validation behaviour.
+        record_injection = self.stats.record_injection
+        outstanding_add = self._outstanding.add
+        inject = self._inject
+        packets: List[Packet] = []
+        to_schedule = []
+        for src, dst, size_bytes, time in batch:
             packet = Packet(
                 pid=self._alloc_pid(),
                 src=src,

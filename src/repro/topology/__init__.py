@@ -6,6 +6,7 @@ from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.fattree import FatTreeTopology
 from repro.topology.ideal import IdealTopology
 from repro.topology.omega import OmegaTopology
+from repro.topology.rotor import RotorTopology
 
 __all__ = [
     "BenesTopology",
@@ -14,4 +15,5 @@ __all__ = [
     "FatTreeTopology",
     "IdealTopology",
     "OmegaTopology",
+    "RotorTopology",
 ]

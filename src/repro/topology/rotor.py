@@ -1,0 +1,121 @@
+"""RotorNet-style rotor topology: round-robin matchings over rotor switches.
+
+A rotor network connects ``n_nodes`` endpoints through ``n_rotors``
+optical rotor switches.  Each rotor blindly cycles through a fixed,
+precomputed sequence of *matchings* (perfect permutations of the
+endpoints); traffic waits in per-destination queues at the source until
+the rotation connects source to destination.  No per-packet switching
+decisions are ever made -- the "routing" is the rotation schedule itself,
+which is what lets a rotor switch dispense with schedulers, buffers, and
+request/grant arbitration entirely (RotorNet, SIGCOMM'17).
+
+The matching set is the classic round-robin construction: matching with
+offset ``o`` connects ``src -> (src + o) mod n`` for every source, and
+offsets ``1 .. n-1`` together cover every ordered endpoint pair exactly
+once.  Offsets are dealt round-robin across the rotors, so the rotors'
+simultaneous matchings in any slot are disjoint, and one full cycle of
+``ceil((n-1)/n_rotors)`` slots gives every pair at least one direct
+connection per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TopologyError
+
+__all__ = ["RotorTopology"]
+
+
+class RotorTopology:
+    """Fixed rotation schedule for ``n_nodes`` endpoints, ``n_rotors`` rotors.
+
+    ``matching(rotor, slot)`` is the permutation rotor ``rotor`` applies
+    during slot ``slot`` (slots index the global, infinitely repeating
+    rotation): a list mapping each source to its matched destination, or
+    to itself for the identity entries of an idle rotor (a rotor whose
+    matching list is shorter than the cycle sits dark for the remainder).
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "n_rotors",
+        "n_matchings",
+        "slots_per_cycle",
+        "_cycles",
+    )
+
+    def __init__(self, n_nodes: int, n_rotors: int = 4):
+        if n_nodes < 2:
+            raise TopologyError(
+                f"a rotor network needs at least 2 endpoints, got {n_nodes}"
+            )
+        if n_rotors < 1:
+            raise TopologyError(f"n_rotors must be >= 1, got {n_rotors}")
+        self.n_nodes = n_nodes
+        self.n_rotors = min(n_rotors, n_nodes - 1)
+        self.n_matchings = n_nodes - 1
+        self.slots_per_cycle = -(-self.n_matchings // self.n_rotors)
+        # Offsets 1..n-1 dealt round-robin: rotor r gets offsets
+        # r+1, r+1+n_rotors, ...  Each rotor's cycle is padded with the
+        # identity matching (self-loops) to the common cycle length so
+        # every rotor advances in lockstep.
+        identity = list(range(n_nodes))
+        self._cycles: List[List[List[int]]] = []
+        for rotor in range(self.n_rotors):
+            cycle = [
+                [(src + offset) % n_nodes for src in range(n_nodes)]
+                for offset in range(
+                    rotor + 1, self.n_matchings + 1, self.n_rotors
+                )
+            ]
+            while len(cycle) < self.slots_per_cycle:
+                cycle.append(identity)
+            self._cycles.append(cycle)
+
+    def matching(self, rotor: int, slot: int) -> List[int]:
+        """The permutation rotor ``rotor`` applies during global ``slot``.
+
+        ``matching(r, s)[src]`` is the destination endpoint src's uplink
+        into rotor ``r`` reaches during that slot (``src`` itself for an
+        idle/dark entry).  ``slot`` may be any non-negative slot index;
+        the rotation repeats every :attr:`slots_per_cycle` slots.
+        """
+        if not 0 <= rotor < self.n_rotors:
+            raise TopologyError(f"rotor {rotor} out of range")
+        if slot < 0:
+            raise TopologyError(f"slot {slot} must be >= 0")
+        return self._cycles[rotor][slot % self.slots_per_cycle]
+
+    def slots_until_matched(self, src: int, dst: int, slot: int = 0) -> int:
+        """Slots from ``slot`` until some rotor connects ``src -> dst``.
+
+        Zero when a rotor already matches the pair in ``slot`` itself.
+        Every ordered pair is matched once per cycle, so the result is
+        always in ``[0, slots_per_cycle)``.
+        """
+        for node in (src, dst):
+            if not 0 <= node < self.n_nodes:
+                raise TopologyError(
+                    f"node {node} out of range [0, {self.n_nodes})"
+                )
+        if src == dst:
+            raise TopologyError("src and dst must differ")
+        offset = (dst - src) % self.n_nodes
+        # Offset o lives in rotor (o-1) % n_rotors at cycle position
+        # (o-1) // n_rotors.
+        position = (offset - 1) // self.n_rotors
+        return (position - slot) % self.slots_per_cycle
+
+    @property
+    def total_switches(self) -> int:
+        """The rotor switches (each one optical, bufferless, schedulerless)."""
+        return self.n_rotors
+
+    def describe(self) -> str:
+        """Human-readable rotation summary."""
+        return (
+            f"rotor nodes={self.n_nodes} rotors={self.n_rotors} "
+            f"matchings={self.n_matchings} "
+            f"slots_per_cycle={self.slots_per_cycle}"
+        )

@@ -1,0 +1,44 @@
+"""repro.zoo -- the plug-and-play architecture registry.
+
+A network architecture is a declarative quadruple
+``topology x routing x switch x scheduler``; :func:`build_network`
+resolves a name or config dict to a registered
+:class:`~repro.zoo.registry.ArchitectureSpec` and instantiates a
+simulator over the shared :class:`~repro.netsim.network.NetworkSimulator`
+substrate.  Importing this package registers the component vocabulary
+and the six stock architectures (the five Sec. V networks plus the
+RotorNet-style ``rotor``).
+"""
+
+from repro.zoo.architectures import register_architectures
+from repro.zoo.registry import (
+    ROUTINGS,
+    SCHEDULERS,
+    SWITCHES,
+    TOPOLOGIES,
+    ArchitectureSpec,
+    Component,
+    ComponentRegistry,
+    architecture,
+    architectures,
+    build_network,
+    register_architecture,
+)
+from repro.zoo.rotor import RotorNetwork
+
+register_architectures()
+
+__all__ = [
+    "ArchitectureSpec",
+    "Component",
+    "ComponentRegistry",
+    "RotorNetwork",
+    "TOPOLOGIES",
+    "ROUTINGS",
+    "SWITCHES",
+    "SCHEDULERS",
+    "architecture",
+    "architectures",
+    "build_network",
+    "register_architecture",
+]

@@ -1,0 +1,143 @@
+"""The registered architectures: the five Sec. V networks plus rotor.
+
+The five legacy entries re-express the hand-wired simulators as registry
+quadruples.  Their builders construct the *same classes with the same
+arguments* as ``repro.analysis.experiments.build_network`` historically
+did, so registry-built networks are byte-identical to the hand-wired
+path -- pinned by the fig6/fig7 goldens, ``test_determinism.py``, and
+the registry↔legacy identity suite in ``tests/test_zoo.py``.
+
+The ``rotor`` entry is the first architecture assembled *from* zoo
+components rather than ported into the zoo: a
+:class:`~repro.topology.rotor.RotorTopology` rotation schedule driving
+:class:`~repro.zoo.rotor.RotorNetwork`'s matching-cycle scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import constants as C
+from repro.core.baldur_network import BaldurNetwork
+from repro.electrical import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    IdealNetwork,
+    MultiButterflyNetwork,
+)
+from repro.netsim.network import NetworkSimulator
+from repro.zoo.components import register_components
+from repro.zoo.registry import register_architecture
+from repro.zoo.rotor import RotorNetwork
+
+__all__ = ["register_architectures"]
+
+_registered = False
+
+
+def _build_baldur(n_nodes: int, seed: int, **params: Any) -> NetworkSimulator:
+    return BaldurNetwork(
+        n_nodes,
+        multiplicity=params.pop("multiplicity", C.BALDUR_MULTIPLICITY),
+        seed=seed,
+        **params,
+    )
+
+
+def _build_multibutterfly(
+    n_nodes: int, seed: int, **params: Any
+) -> NetworkSimulator:
+    return MultiButterflyNetwork(
+        n_nodes,
+        multiplicity=params.pop("multiplicity", C.BALDUR_MULTIPLICITY),
+        seed=seed,
+        **params,
+    )
+
+
+def _build_dragonfly(n_nodes: int, seed: int, **params: Any) -> NetworkSimulator:
+    return DragonflyNetwork(n_nodes, seed=seed, **params)
+
+
+def _build_fattree(n_nodes: int, seed: int, **params: Any) -> NetworkSimulator:
+    return FatTreeNetwork(n_nodes, seed=seed, **params)
+
+
+def _build_ideal(n_nodes: int, seed: int, **params: Any) -> NetworkSimulator:
+    # The ideal network is seed-free: there is nothing random to build.
+    return IdealNetwork(n_nodes, **params)
+
+
+def _build_rotor(n_nodes: int, seed: int, **params: Any) -> NetworkSimulator:
+    # Fully deterministic -- the rotation is a fixed function of time, so
+    # the seed only shapes the injected workload, never the network.
+    return RotorNetwork(n_nodes, **params)
+
+
+def register_architectures() -> None:
+    """Populate the architecture registry (idempotent)."""
+    global _registered
+    if _registered:
+        return
+    _registered = True
+    register_components()
+
+    register_architecture(
+        "baldur",
+        topology="multibutterfly",
+        routing="destination_tag_least_loaded",
+        switch="tl_optical_bufferless",
+        scheduler="event_driven",
+        builder=_build_baldur,
+        summary="the paper's all-optical multi-butterfly with "
+        "tunable-laser switching and retry",
+    )
+    register_architecture(
+        "multibutterfly",
+        topology="multibutterfly",
+        routing="destination_tag_random",
+        switch="electrical_buffered",
+        scheduler="event_driven",
+        builder=_build_multibutterfly,
+        summary="electrical buffered baseline on the same "
+        "multi-butterfly wiring",
+    )
+    register_architecture(
+        "dragonfly",
+        topology="dragonfly",
+        routing="ugal_adaptive",
+        switch="electrical_buffered",
+        scheduler="event_driven",
+        builder=_build_dragonfly,
+        summary="electrical dragonfly with UGAL adaptive routing "
+        "(Table VI comparison point)",
+    )
+    register_architecture(
+        "fattree",
+        topology="fattree",
+        routing="updown_adaptive",
+        switch="electrical_buffered",
+        scheduler="event_driven",
+        builder=_build_fattree,
+        summary="electrical three-tier fat-tree (Table VI comparison "
+        "point)",
+    )
+    register_architecture(
+        "ideal",
+        topology="ideal",
+        routing="direct",
+        switch="ideal_sink",
+        scheduler="event_driven",
+        builder=_build_ideal,
+        summary="contention-free lower bound: dedicated link per pair",
+    )
+    register_architecture(
+        "rotor",
+        topology="rotor",
+        routing="rotation_schedule",
+        switch="rotor_crossbar",
+        scheduler="matching_cycle",
+        builder=_build_rotor,
+        summary="RotorNet-style rotor switches cycling round-robin "
+        "matchings; schedulerless and bufferless in-network",
+    )

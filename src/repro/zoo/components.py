@@ -1,0 +1,114 @@
+"""The component vocabulary: every topology, routing policy, switch model,
+and scheduler the registered architectures are assembled from.
+
+Each entry is a one-line contract; the concrete behaviour lives in the
+simulator the architecture's builder instantiates (see
+:mod:`repro.zoo.architectures`).  Registration order is presentation
+order in ``repro-bench zoo --list``.
+"""
+
+from __future__ import annotations
+
+from repro.zoo.registry import ROUTINGS, SCHEDULERS, SWITCHES, TOPOLOGIES
+
+__all__ = ["register_components"]
+
+_registered = False
+
+
+def register_components() -> None:
+    """Populate the four component registries (idempotent)."""
+    global _registered
+    if _registered:
+        return
+    _registered = True
+
+    # -- topologies ---------------------------------------------------------
+    TOPOLOGIES.register(
+        "multibutterfly",
+        "M stacked butterflies of radix-4 2x2-pair switches "
+        "(Baldur Sec. III / Table VI)",
+    )
+    TOPOLOGIES.register(
+        "dragonfly",
+        "fully-connected groups of routers with global links (Table VI)",
+    )
+    TOPOLOGIES.register(
+        "fattree",
+        "three-tier folded Clos of edge/aggregation/core switches "
+        "(Table VI)",
+    )
+    TOPOLOGIES.register(
+        "ideal",
+        "every pair joined by a dedicated contention-free link "
+        "(lower-bound reference)",
+    )
+    TOPOLOGIES.register(
+        "rotor",
+        "endpoints on rotor switches cycling round-robin matchings "
+        "(RotorNet-style rotation schedule)",
+    )
+
+    # -- routing policies ---------------------------------------------------
+    ROUTINGS.register(
+        "destination_tag_random",
+        "destination-tag bit steering; random choice among the "
+        "butterfly copies at injection",
+    )
+    ROUTINGS.register(
+        "destination_tag_least_loaded",
+        "destination-tag bit steering; copies tried in least-loaded "
+        "order with misroute-and-retry on blocking",
+    )
+    ROUTINGS.register(
+        "ugal_adaptive",
+        "UGAL: per-packet choice of minimal vs Valiant global path by "
+        "queue depth",
+    )
+    ROUTINGS.register(
+        "updown_adaptive",
+        "fat-tree up*/down* with adaptive upward port choice",
+    )
+    ROUTINGS.register(
+        "direct",
+        "single dedicated hop; no path choice exists",
+    )
+    ROUTINGS.register(
+        "rotation_schedule",
+        "no per-packet decisions: source VOQs drain when the rotation "
+        "connects src to dst",
+    )
+
+    # -- switch models ------------------------------------------------------
+    SWITCHES.register(
+        "tl_optical_bufferless",
+        "bufferless all-optical 2x2 pair; tunable-laser selection, "
+        "contention drops to the retry path",
+    )
+    SWITCHES.register(
+        "electrical_buffered",
+        "store-and-forward electrical crossbar with finite VC buffers "
+        "and credit flow control",
+    )
+    SWITCHES.register(
+        "ideal_sink",
+        "zero-contention pass-through; serialization and wire delay "
+        "only",
+    )
+    SWITCHES.register(
+        "rotor_crossbar",
+        "schedulerless optical crossbar applying a fixed matching per "
+        "slot; dark during reconfiguration",
+    )
+
+    # -- schedulers ---------------------------------------------------------
+    SCHEDULERS.register(
+        "event_driven",
+        "per-packet event scheduling on the shared (time, seq) kernel; "
+        "switches act when packets arrive",
+    )
+    SCHEDULERS.register(
+        "matching_cycle",
+        "slotted time: slot_ns connected + reconfig_ns dark, matchings "
+        "advance in lockstep each slot",
+    )

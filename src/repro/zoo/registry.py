@@ -1,0 +1,273 @@
+"""The architecture registry: network = topology × routing × switch × scheduler.
+
+Every network in the zoo is a declarative quadruple of named components
+(OpenOptics-style): a *topology* (how endpoints and switches are wired),
+a *routing policy* (how a packet picks its path), a *switch model* (what
+a switch does to a traversing packet), and a *scheduler* (how switching
+decisions are sequenced in time).  Components are tiny descriptors
+registered by name; an :class:`ArchitectureSpec` binds four of them to a
+builder that instantiates a concrete
+:class:`~repro.netsim.network.NetworkSimulator` over the shared
+substrate.
+
+The registry is the single construction path for simulators:
+:func:`build_network` accepts an architecture name (``"baldur"``), a
+declarative config (``{"architecture": "rotor", "n_rotors": 8}``), or a
+raw component quadruple, and returns a ready simulator.
+``repro.analysis.experiments.build_network`` delegates here, so every
+experiment, sweep, and golden exercises registry-built networks.
+
+Determinism contract: a builder must be a pure function of
+``(n_nodes, seed, **params)`` — identical arguments must yield a
+simulator whose run produces byte-identical :class:`StatsSummary` JSON.
+The goldens pin this for every registered architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netsim.network import NetworkSimulator
+
+__all__ = [
+    "Component",
+    "ComponentRegistry",
+    "ArchitectureSpec",
+    "TOPOLOGIES",
+    "ROUTINGS",
+    "SWITCHES",
+    "SCHEDULERS",
+    "register_architecture",
+    "architecture",
+    "architectures",
+    "build_network",
+]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One named building block of an architecture.
+
+    ``kind`` is the registry it belongs to (``topology`` / ``routing`` /
+    ``switch`` / ``scheduler``); ``summary`` is the one-line contract the
+    component implements.  Components are descriptors, not factories:
+    the architecture's builder decides how its four components combine
+    (a Benes-over-tunable-lasers topology composes very differently from
+    a rotor rotation schedule), so behaviour lives in the builder and
+    the component records *what* was chosen, queryably and by name.
+    """
+
+    name: str
+    kind: str
+    summary: str
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"{self.kind}:{self.name} -- {self.summary}"
+
+
+class ComponentRegistry:
+    """Insertion-ordered name -> :class:`Component` table for one kind."""
+
+    __slots__ = ("kind", "_components")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._components: Dict[str, Component] = {}
+
+    def register(self, name: str, summary: str) -> Component:
+        """Add a component; names are unique within a kind."""
+        if name in self._components:
+            raise ConfigurationError(
+                f"{self.kind} component {name!r} is already registered"
+            )
+        component = Component(name=name, kind=self.kind, summary=summary)
+        self._components[name] = component
+        return component
+
+    def get(self, name: str) -> Component:
+        """Look up a component, with the known names in the error."""
+        try:
+            return self._components[name]
+        except KeyError:
+            known = ", ".join(sorted(self._components))
+            raise ConfigurationError(
+                f"unknown {self.kind} component {name!r} (known: {known})"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._components)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+
+TOPOLOGIES = ComponentRegistry("topology")
+ROUTINGS = ComponentRegistry("routing")
+SWITCHES = ComponentRegistry("switch")
+SCHEDULERS = ComponentRegistry("scheduler")
+
+_KIND_REGISTRIES = {
+    "topology": TOPOLOGIES,
+    "routing": ROUTINGS,
+    "switch": SWITCHES,
+    "scheduler": SCHEDULERS,
+}
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A named network architecture: four components plus a builder.
+
+    ``builder(n_nodes, seed, **params)`` returns a ready
+    :class:`~repro.netsim.network.NetworkSimulator`; ``params`` defaults
+    are the spec's ``defaults`` overridden by the caller's config.  The
+    builder must be deterministic in its arguments (see the module
+    docstring) -- the goldens and the registry↔legacy identity suite
+    enforce this.
+    """
+
+    name: str
+    topology: Component
+    routing: Component
+    switch: Component
+    scheduler: Component
+    builder: Callable[..., NetworkSimulator]
+    summary: str = ""
+    defaults: Dict[str, Any] = field(default_factory=dict)
+
+    def components(self) -> Tuple[Component, Component, Component, Component]:
+        """The (topology, routing, switch, scheduler) quadruple."""
+        return (self.topology, self.routing, self.switch, self.scheduler)
+
+    def build(self, n_nodes: int, seed: int = 0, **params: Any) -> NetworkSimulator:
+        """Instantiate the architecture (defaults merged under ``params``)."""
+        merged = dict(self.defaults)
+        merged.update(params)
+        return self.builder(n_nodes, seed, **merged)
+
+    def describe(self) -> str:
+        """Human-readable spec summary."""
+        quad = " x ".join(c.name for c in self.components())
+        return f"{self.name}: {quad}"
+
+
+_ARCHITECTURES: Dict[str, ArchitectureSpec] = {}
+
+
+def register_architecture(
+    name: str,
+    topology: str,
+    routing: str,
+    switch: str,
+    scheduler: str,
+    builder: Callable[..., NetworkSimulator],
+    summary: str = "",
+    defaults: Optional[Dict[str, Any]] = None,
+) -> ArchitectureSpec:
+    """Register an architecture by its component names.
+
+    All four components must already be registered in their kind's
+    registry -- a spec can only be assembled from declared vocabulary,
+    which is what keeps ``repro-bench zoo --list`` exhaustive.
+    """
+    if name in _ARCHITECTURES:
+        raise ConfigurationError(
+            f"architecture {name!r} is already registered"
+        )
+    spec = ArchitectureSpec(
+        name=name,
+        topology=TOPOLOGIES.get(topology),
+        routing=ROUTINGS.get(routing),
+        switch=SWITCHES.get(switch),
+        scheduler=SCHEDULERS.get(scheduler),
+        builder=builder,
+        summary=summary,
+        defaults=dict(defaults or {}),
+    )
+    _ARCHITECTURES[name] = spec
+    return spec
+
+
+def architecture(name: str) -> ArchitectureSpec:
+    """Look up an architecture spec by name."""
+    try:
+        return _ARCHITECTURES[name]
+    except KeyError:
+        known = ", ".join(sorted(_ARCHITECTURES))
+        raise ConfigurationError(
+            f"unknown architecture {name!r} (known: {known})"
+        ) from None
+
+
+def architectures() -> Tuple[str, ...]:
+    """Registered architecture names, in registration order."""
+    return tuple(_ARCHITECTURES)
+
+
+def _spec_from_components(config: Dict[str, Any]) -> ArchitectureSpec:
+    """Resolve a 4-component config to the unique matching architecture."""
+    quad = tuple(
+        _KIND_REGISTRIES[kind].get(str(config[kind])).name
+        for kind in ("topology", "routing", "switch", "scheduler")
+    )
+    for spec in _ARCHITECTURES.values():
+        if tuple(c.name for c in spec.components()) == quad:
+            return spec
+    raise ConfigurationError(
+        f"no registered architecture matches components {quad!r}; "
+        "register one with repro.zoo.register_architecture"
+    )
+
+
+def build_network(
+    config: Any, n_nodes: int, seed: int = 0, **overrides: Any
+) -> NetworkSimulator:
+    """Build a simulator from an architecture name or declarative config.
+
+    ``config`` may be:
+
+    * an architecture name: ``build_network("baldur", 64)``;
+    * a config dict naming an architecture, with parameter overrides:
+      ``build_network({"architecture": "rotor", "n_rotors": 8}, 64)``;
+    * a config dict naming all four components, resolved to the unique
+      registered architecture with that quadruple:
+      ``build_network({"topology": "dragonfly", "routing":
+      "ugal_adaptive", "switch": "electrical_buffered", "scheduler":
+      "event_driven"}, 64)``.
+
+    Keyword ``overrides`` (and non-component keys of a config dict) are
+    passed to the architecture's builder on top of its defaults.
+    """
+    params: Dict[str, Any] = {}
+    if isinstance(config, str):
+        spec = architecture(config)
+    elif isinstance(config, dict):
+        cfg = dict(config)
+        if "architecture" in cfg:
+            spec = architecture(str(cfg.pop("architecture")))
+            for kind in _KIND_REGISTRIES:
+                cfg.pop(kind, None)
+        elif all(kind in cfg for kind in _KIND_REGISTRIES):
+            spec = _spec_from_components(cfg)
+            for kind in _KIND_REGISTRIES:
+                cfg.pop(kind)
+        else:
+            raise ConfigurationError(
+                "config dict must name an 'architecture' or all four of "
+                "topology/routing/switch/scheduler"
+            )
+        params.update(cfg)
+    else:
+        raise ConfigurationError(
+            f"config must be an architecture name or a dict, "
+            f"got {type(config).__name__}"
+        )
+    params.update(overrides)
+    return spec.build(n_nodes, seed=seed, **params)

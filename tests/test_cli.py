@@ -15,7 +15,7 @@ class TestParser:
         assert set(sub.choices) == {
             "table4", "table5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "drop-model", "packaging", "awgr", "diagnose", "resilience",
-            "trace", "perf", "lint",
+            "trace", "perf", "lint", "zoo",
         }
 
     def test_requires_subcommand(self):
@@ -76,6 +76,19 @@ class TestCommands:
     def test_fig7_tiny(self, capsys):
         assert main(["fig7", "--nodes", "16", "--packets", "3"]) == 0
         assert "ping_pong1" in capsys.readouterr().out
+
+    def test_zoo_list(self, capsys):
+        assert main(["zoo", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "baldur" in out and "rotor" in out
+        assert "matching_cycle" in out
+
+    def test_zoo_sweep_tiny(self, capsys):
+        assert main([
+            "zoo", "--nodes", "16", "--packets", "3", "--loads", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Architecture zoo" in out and "rotor" in out
 
     def test_resilience_small(self, capsys):
         assert main([

@@ -1,0 +1,156 @@
+"""Regression tests for the submit/submit_batch validate-then-commit fix.
+
+Historically a rejected :meth:`NetworkSimulator.submit` mutated the stats
+and the conservation ledger *before* the past-timestamp check raised, and
+a bad entry mid-``submit_batch`` left every earlier entry half-committed
+(stats/pids/ledger mutated, nothing scheduled) -- so a later ``audit()``
+raised a spurious ``InvariantViolationError`` for packets that never
+existed.  These tests pin the fixed contract: a rejected submission is a
+complete no-op.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.electrical import IdealNetwork
+from repro.errors import ConfigurationError
+
+N_NODES = 8
+
+
+def snapshot(net):
+    """Every piece of submission state a failed call must not touch."""
+    return {
+        "injected": net.stats.injected,
+        "next_pid": net._next_pid,
+        "outstanding": set(net._outstanding),
+        "queued_events": len(net.env._queue)
+        + len(net.env._run) - net.env._ridx,
+    }
+
+
+@pytest.fixture
+def net():
+    return IdealNetwork(N_NODES)
+
+
+class TestRejectedSubmit:
+    def test_past_timestamp_is_a_noop(self, net):
+        net.submit(0, 1, time=10.0)
+        net.run(until=20.0)
+        before = snapshot(net)
+        with pytest.raises(ConfigurationError, match="past"):
+            net.submit(2, 3, time=5.0)
+        assert snapshot(net) == before
+        net.run()
+        net.audit()  # no phantom in-flight packet
+
+    def test_bad_endpoint_is_a_noop(self, net):
+        before = snapshot(net)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            net.submit(0, N_NODES, time=0.0)
+        with pytest.raises(ConfigurationError, match="differ"):
+            net.submit(3, 3, time=0.0)
+        assert snapshot(net) == before
+        net.run()
+        net.audit()
+
+    def test_injected_count_survives_rejection(self, net):
+        net.submit(0, 1, time=0.0)
+        with pytest.raises(ConfigurationError):
+            net.submit(0, 1, time=-1.0)
+        assert net.stats.injected == 1
+        stats = net.run()
+        assert stats.delivered == 1
+        net.audit()
+
+
+class TestRejectedSubmitBatch:
+    def test_bad_entry_mid_batch_is_all_or_nothing(self, net):
+        good = (0, 1, 512, 0.0)
+        bad = (0, N_NODES, 512, 0.0)  # out-of-range endpoint
+        before = snapshot(net)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            net.submit_batch([good, good, bad, good])
+        assert snapshot(net) == before
+        net.run()
+        net.audit()
+
+    def test_past_timestamp_mid_batch_is_all_or_nothing(self, net):
+        net.submit(0, 1, time=10.0)
+        net.run(until=20.0)
+        before = snapshot(net)
+        with pytest.raises(ConfigurationError, match="past"):
+            net.submit_batch([
+                (1, 2, 512, 25.0),
+                (2, 3, 512, 5.0),  # before now=20
+            ])
+        assert snapshot(net) == before
+        net.run()
+        net.audit()
+
+    def test_successful_batch_after_failed_batch_is_unperturbed(self, net):
+        with pytest.raises(ConfigurationError):
+            net.submit_batch([(0, 1, 512, 0.0), (9, 9, 512, 0.0)])
+        packets = net.submit_batch([(0, 1, 512, 0.0), (1, 2, 512, 1.0)])
+        # pids start at 0: the failed batch allocated nothing.
+        assert [p.pid for p in packets] == [0, 1]
+        stats = net.run()
+        assert stats.injected == stats.delivered == 2
+        net.audit()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_good=st.integers(min_value=0, max_value=10),
+    bad_index=st.integers(min_value=0, max_value=10),
+    bad_kind=st.sampled_from(["src_range", "dst_range", "loop", "past"]),
+    data=st.data(),
+)
+def test_failed_batch_is_always_a_noop(n_good, bad_index, bad_kind, data):
+    """Property: any batch containing any invalid entry anywhere is a
+    complete no-op -- stats, pid counter, ledger, and event queue all
+    unchanged, and the network still runs and audits clean."""
+    net = IdealNetwork(N_NODES)
+    entry = st.tuples(
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        st.just(512),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ).filter(lambda e: e[0] != e[1])
+    batch = [data.draw(entry) for _ in range(n_good)]
+    bad = {
+        "src_range": (N_NODES + 3, 0, 512, 0.0),
+        "dst_range": (0, -1, 512, 0.0),
+        "loop": (4, 4, 512, 0.0),
+        "past": (0, 1, 512, -1.0),
+    }[bad_kind]
+    batch.insert(min(bad_index, len(batch)), bad)
+    before = snapshot(net)
+    with pytest.raises(ConfigurationError):
+        net.submit_batch(batch)
+    assert snapshot(net) == before
+    net.run()
+    net.audit()
+
+
+def test_successful_batch_identical_to_sequential_submits():
+    """The all-or-nothing rewrite must not change the success path:
+    same pids, same stats, same event order as per-entry submit()."""
+    entries = [
+        (0, 1, 512, 5.0),
+        (2, 3, 256, 1.0),
+        (4, 5, 512, 3.0),
+        (1, 0, 128, 5.0),
+    ]
+    batched = IdealNetwork(N_NODES)
+    packets = batched.submit_batch(entries)
+    sequential = IdealNetwork(N_NODES)
+    expected = [sequential.submit(*e[:2], size_bytes=e[2], time=e[3])
+                for e in entries]
+    assert [p.pid for p in packets] == [p.pid for p in expected]
+    a, b = batched.run(), sequential.run()
+    assert a.summary() == b.summary()
+    batched.audit()
+    sequential.audit()
