@@ -105,12 +105,18 @@ def run_open_loop(
     until: float = DEFAULT_UNTIL_NS,
     tracer=None,
     metrics=None,
+    shards: Optional[int] = None,
+    shard_latency_ns: float = 0.0,
 ) -> LatencyStats:
     """One open-loop experiment cell (one point of Fig. 6).
 
     ``tracer``/``metrics`` optionally attach observability
     (:mod:`repro.obs`) before injection; both are passive and leave the
     returned stats byte-identical to an unobserved run.
+
+    ``shards`` > 1 runs the cell on the sharded engine
+    (:mod:`repro.shard`); ``shard_latency_ns`` is the extra inter-shard
+    fiber delay added on cut links (DESIGN.md section 14).
     """
     net = build_network(network_name, n_nodes, seed)
     if tracer is not None:
@@ -119,7 +125,8 @@ def run_open_loop(
         net.attach_metrics(metrics)
     destinations = pattern_destinations(pattern, n_nodes, seed)
     inject_open_loop(net, destinations, load, packets_per_node, seed=seed)
-    return net.run(until=until)
+    return net.run(until=until, shards=shards or 1,
+                   shard_latency_ns=shard_latency_ns)
 
 
 FIG7_WORKLOADS = (
@@ -146,6 +153,8 @@ def figure6_spec(
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
     obs: Optional[Dict] = None,
+    shards: Optional[int] = None,
+    shard_latency_ns: float = 0.0,
 ):
     """The Fig. 6 grid as a declarative sweep spec.
 
@@ -153,6 +162,8 @@ def figure6_spec(
     True, "metrics": True}``, see :mod:`repro.runner.jobs`).  It is only
     added to the spec when set, so default specs -- and therefore job
     keys, cache entries, and golden results files -- are unchanged.
+    ``shards`` follows the same rule: when set, every cell runs on the
+    sharded engine (:mod:`repro.shard`) with that worker count.
     """
     from repro.runner import SweepSpec
 
@@ -163,6 +174,9 @@ def figure6_spec(
     }
     if obs is not None:
         fixed["obs"] = dict(obs)
+    if shards is not None:
+        fixed["shards"] = shards
+        fixed["shard_latency_ns"] = shard_latency_ns
     return SweepSpec(
         kind="open_loop",
         axes={
@@ -334,19 +348,29 @@ def table5_spec(
     packets_per_node: int = 30,
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
+    shards: Optional[int] = None,
+    shard_latency_ns: float = 0.0,
 ):
-    """The Table V multiplicity sweep as a declarative spec."""
+    """The Table V multiplicity sweep as a declarative spec.
+
+    ``shards`` is only added to the spec when set (see
+    :func:`figure6_spec`), keeping default job keys and goldens stable.
+    """
     from repro.runner import SweepSpec
 
+    fixed = {
+        "n_nodes": n_nodes,
+        "load": load,
+        "packets_per_node": packets_per_node,
+        "until": until,
+    }
+    if shards is not None:
+        fixed["shards"] = shards
+        fixed["shard_latency_ns"] = shard_latency_ns
     return SweepSpec(
         kind="table5",
         axes={"multiplicity": tuple(multiplicities)},
-        fixed={
-            "n_nodes": n_nodes,
-            "load": load,
-            "packets_per_node": packets_per_node,
-            "until": until,
-        },
+        fixed=fixed,
         root_seed=seed,
     )
 
@@ -397,28 +421,35 @@ def zoo_spec(
     networks: Iterable[str] = ZOO_NETWORKS,
     seed: int = 0,
     until: float = DEFAULT_UNTIL_NS,
+    shards: Optional[int] = None,
+    shard_latency_ns: float = 0.0,
 ):
     """Baldur vs. the rotor architecture as a declarative sweep spec.
 
     Reuses the ``open_loop`` job kind unchanged: cells resolve their
     network through :func:`build_network`, which goes through the
     :mod:`repro.zoo` registry, so any registered architecture name is a
-    valid axis value.
+    valid axis value.  ``shards`` is only added to the spec when set
+    (see :func:`figure6_spec`), keeping default job keys stable.
     """
     from repro.runner import SweepSpec
 
+    fixed = {
+        "n_nodes": n_nodes,
+        "pattern": pattern,
+        "packets_per_node": packets_per_node,
+        "until": until,
+    }
+    if shards is not None:
+        fixed["shards"] = shards
+        fixed["shard_latency_ns"] = shard_latency_ns
     return SweepSpec(
         kind="open_loop",
         axes={
             "network": tuple(networks),
             "load": tuple(loads),
         },
-        fixed={
-            "n_nodes": n_nodes,
-            "pattern": pattern,
-            "packets_per_node": packets_per_node,
-            "until": until,
-        },
+        fixed=fixed,
         root_seed=seed,
     )
 

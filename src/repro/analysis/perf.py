@@ -41,6 +41,8 @@ __all__ = [
     "bench_kernel",
     "bench_simulator",
     "bench_fig6_baldur",
+    "bench_zoo_build",
+    "bench_shard_scaling",
     "compare_reports",
     "format_report",
     "format_comparison",
@@ -59,6 +61,11 @@ _FULL = dict(
     fig6_packets=20,
     fig6_loads=(0.3, 0.7, 0.9),
     fig6_patterns=("random_permutation", "transpose"),
+    zoo_nodes=64,
+    shard_nodes=256,
+    shard_packets=10,
+    shard_counts=(1, 2, 4),
+    shard_repeats=5,
 )
 _QUICK = dict(
     kernel_events=50_000,
@@ -68,6 +75,11 @@ _QUICK = dict(
     fig6_packets=8,
     fig6_loads=(0.7,),
     fig6_patterns=("transpose",),
+    zoo_nodes=32,
+    shard_nodes=64,
+    shard_packets=5,
+    shard_counts=(1, 2),
+    shard_repeats=3,
 )
 
 
@@ -208,13 +220,108 @@ def bench_fig6_baldur(
     }
 
 
+def bench_zoo_build(
+    n_nodes: int = 64,
+    networks: Tuple[str, ...] = ("baldur", "rotor"),
+    seed: int = 0,
+) -> Dict[str, Dict]:
+    """Construction wall time per zoo architecture (the registry path).
+
+    Every sweep cell rebuilds its network from scratch, so registry
+    resolution + topology construction is a fixed cost of every cell;
+    this isolates it from the run itself.
+    """
+    from repro.zoo import build_network
+
+    out: Dict[str, Dict] = {}
+    for name in networks:
+        start = perf_counter()
+        build_network(name, n_nodes, seed=seed)
+        wall_s = perf_counter() - start
+        out[name] = {
+            "n_nodes": n_nodes,
+            "wall_s": wall_s,
+            "builds_per_s": 1.0 / wall_s if wall_s > 0 else 0.0,
+        }
+    return out
+
+
+def bench_shard_scaling(
+    n_nodes: int = 256,
+    packets_per_node: int = 10,
+    load: float = 0.7,
+    shard_counts: Tuple[int, ...] = (1, 2, 4),
+    shard_latency_ns: float = 100.0,
+    repeats: int = 5,
+    seed: int = 0,
+) -> Dict:
+    """Wall-time scaling of the sharded engine on a Fig. 6-scale Baldur cell.
+
+    Repeats are interleaved round-robin across the shard counts so
+    machine drift hits every configuration equally; the row reports the
+    median.  ``speedup`` is ``median_wall(shards=1) / median_wall(N)``
+    -- a real multi-core speedup requires at least N physical cores, so
+    the report records ``cores`` (on fewer cores the sharded runs time-
+    slice one CPU and the ratio mostly measures engine overhead).  The
+    sharded cells add ``shard_latency_ns`` of inter-cabinet fiber on cut
+    links (shards=1 runs the plain kernel and ignores it), so delivered
+    counts may differ slightly across rows; only wall times compare.
+    """
+    import os
+    from statistics import median
+
+    from repro.core.baldur_network import BaldurNetwork
+    from repro.traffic import inject_open_loop, transpose
+
+    walls: Dict[int, List[float]] = {s: [] for s in shard_counts}
+    delivered: Dict[int, int] = {}
+    for _ in range(repeats):
+        for shards in shard_counts:
+            net = BaldurNetwork(n_nodes, seed=seed)
+            inject_open_loop(
+                net, transpose(n_nodes), load, packets_per_node, seed=seed
+            )
+            start = perf_counter()
+            stats = net.run(
+                shards=shards, shard_latency_ns=shard_latency_ns
+            )
+            walls[shards].append(perf_counter() - start)
+            delivered[shards] = stats.delivered
+    base = median(walls[shard_counts[0]])
+    rows = []
+    for shards in shard_counts:
+        wall = median(walls[shards])
+        rows.append({
+            "shards": shards,
+            "wall_s": wall,
+            "delivered": delivered[shards],
+            "packets_per_s":
+                delivered[shards] / wall if wall > 0 else 0.0,
+            "speedup": base / wall if wall > 0 else 0.0,
+        })
+    return {
+        "n_nodes": n_nodes,
+        "packets_per_node": packets_per_node,
+        "load": load,
+        "shard_latency_ns": shard_latency_ns,
+        "repeats": repeats,
+        "cores": os.cpu_count(),
+        "note": (
+            "speedup = median wall(shards=1) / wall(shards=N); "
+            "a multi-core speedup requires >= N physical cores"
+        ),
+        "rows": rows,
+    }
+
+
 # -- the suite -------------------------------------------------------------------
 
 
 def run_perf_suite(
     quick: bool = False,
     networks: Tuple[str, ...] = (
-        "baldur", "multibutterfly", "dragonfly", "fattree", "ideal"
+        "baldur", "multibutterfly", "dragonfly", "fattree", "ideal",
+        "rotor",
     ),
     seed: int = 0,
     progress=None,
@@ -252,6 +359,18 @@ def run_perf_suite(
         seed=seed,
     )
 
+    say("zoo build")
+    zoo_build = bench_zoo_build(n_nodes=cfg["zoo_nodes"], seed=seed)
+
+    say("shard scaling")
+    shard = bench_shard_scaling(
+        n_nodes=cfg["shard_nodes"],
+        packets_per_node=cfg["shard_packets"],
+        shard_counts=cfg["shard_counts"],
+        repeats=cfg["shard_repeats"],
+        seed=seed,
+    )
+
     return {
         "schema": 1,
         "quick": quick,
@@ -262,6 +381,8 @@ def run_perf_suite(
         "kernel": kernel,
         "simulators": sims,
         "fig6_baldur": fig6,
+        "zoo_build": zoo_build,
+        "shard_scaling": shard,
     }
 
 
@@ -282,7 +403,33 @@ def _throughput_metrics(report: Dict) -> Dict[str, float]:
     }
     for name, row in report.get("simulators", {}).items():
         metrics[f"simulators.{name}.packets_per_s"] = row["packets_per_s"]
+    for name, row in report.get("zoo_build", {}).items():
+        metrics[f"zoo_build.{name}.builds_per_s"] = row["builds_per_s"]
+    for row in report.get("shard_scaling", {}).get("rows", []):
+        metrics[f"shard_scaling.shards{row['shards']}.packets_per_s"] = \
+            row["packets_per_s"]
     return metrics
+
+
+def _workload_config(report: Dict) -> Dict[str, object]:
+    """Flatten the workload-size fields that make two reports comparable."""
+    cfg: Dict[str, object] = {"quick": bool(report.get("quick"))}
+    kernel = report.get("kernel") or {}
+    if "n_events" in kernel:
+        cfg["kernel.n_events"] = kernel["n_events"]
+    for name, row in (report.get("simulators") or {}).items():
+        for field in ("n_nodes", "packets_per_node", "load"):
+            if field in row:
+                cfg[f"simulators.{name}.{field}"] = row[field]
+    for section in ("fig6_baldur", "shard_scaling"):
+        row = report.get(section) or {}
+        for field in ("n_nodes", "packets_per_node", "cells", "repeats"):
+            if field in row:
+                cfg[f"{section}.{field}"] = row[field]
+    for name, row in (report.get("zoo_build") or {}).items():
+        if "n_nodes" in row:
+            cfg[f"zoo_build.{name}.n_nodes"] = row["n_nodes"]
+    return cfg
 
 
 def compare_reports(current: Dict, baseline: Dict) -> List[Dict]:
@@ -291,13 +438,26 @@ def compare_reports(current: Dict, baseline: Dict) -> List[Dict]:
     Returns rows ``{metric, baseline, current, speedup, regression}``
     where ``speedup`` is current/baseline (>1 = faster) and ``regression``
     flags a loss beyond :data:`REGRESSION_THRESHOLD`.  Raises
-    ``ValueError`` when the reports' ``quick`` flags differ (their
-    workloads are different sizes, so ratios would be meaningless).
+    ``ValueError`` when the reports measured different workloads --
+    ``--quick`` against full, or any shared size field (node counts,
+    packet budgets, event counts) that differs -- naming exactly which
+    fields diverged, so a skipped comparison is diagnosable from the
+    message alone.
     """
-    if bool(current.get("quick")) != bool(baseline.get("quick")):
+    cur_cfg = _workload_config(current)
+    base_cfg = _workload_config(baseline)
+    diverged = sorted(
+        key for key in (set(cur_cfg) & set(base_cfg))
+        if cur_cfg[key] != base_cfg[key]
+    )
+    if diverged:
+        detail = ", ".join(
+            f"{key}: {base_cfg[key]!r} (baseline) != {cur_cfg[key]!r} "
+            f"(current)" for key in diverged
+        )
         raise ValueError(
-            "cannot compare a --quick report against a full report "
-            "(different workload sizes)"
+            "reports measured different workloads, so throughput ratios "
+            f"would be meaningless -- diverging fields: {detail}"
         )
     cur = _throughput_metrics(current)
     base = _throughput_metrics(baseline)
@@ -336,6 +496,22 @@ def format_report(report: Dict) -> str:
         f"  fig6 baldur sweep: {f6['packets_per_s']:,.0f} pkts/s over "
         f"{f6['cells']} cells ({f6['wall_s']:.3f}s)"
     )
+    for name, row in report.get("zoo_build", {}).items():
+        lines.append(
+            f"  zoo build {name:<10} {row['wall_s'] * 1e3:>8.1f} ms "
+            f"({row['n_nodes']} nodes)"
+        )
+    shard = report.get("shard_scaling")
+    if shard:
+        lines.append(
+            f"  shard scaling ({shard['n_nodes']} nodes, "
+            f"{shard['cores']} core(s)):"
+        )
+        for row in shard["rows"]:
+            lines.append(
+                f"    shards={row['shards']}: {row['wall_s']:.3f}s "
+                f"median, {row['speedup']:.2f}x vs shards=1"
+            )
     return "\n".join(lines)
 
 

@@ -35,7 +35,11 @@ Sweep-backed commands (``table5``, ``fig6``, ``fig7``, ``fig9``,
   exponential backoff) before quarantining them;
 * ``--resume [F]``   -- checkpoint completions to journal F (default
   ``repro-<command>.journal.jsonl``) and skip jobs already recorded
-  there, so an interrupted campaign continues byte-identically.
+  there, so an interrupted campaign continues byte-identically;
+* ``--shards N``     -- run each cell on the sharded multi-core engine
+  with N worker kernels (open-loop kinds only: ``table5``, ``fig6``,
+  ``zoo``; see DESIGN.md section 14).  ``--shard-latency NS`` adds an
+  inter-shard fiber delay on cut links to widen the lookahead window.
 
 Sweep commands run in record mode: a failing cell is reported on stderr
 instead of aborting the grid, and the exit code is the partial-failure
@@ -98,6 +102,17 @@ def _sweep_kwargs(args) -> dict:
     )
 
 
+def _reject_shards(args, why: str) -> Optional[int]:
+    """Exit code 2 when ``--shards`` is passed to an unsupported command."""
+    if getattr(args, "shards", None) in (None, 1):
+        return None
+    print(
+        f"error: --shards is not supported for '{args.command}': {why}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _finish_sweep(args, sweep) -> int:
     """Write ``--out``, print the execution report, return the exit code.
 
@@ -143,7 +158,8 @@ def _cmd_table5(args) -> None:
 
     sweep = run_sweep(
         table5_spec(n_nodes=args.nodes, packets_per_node=args.packets,
-                    seed=args.seed),
+                    seed=args.seed, shards=args.shards,
+                    shard_latency_ns=args.shard_latency),
         **_sweep_kwargs(args),
     )
     rows = reshape_table5(sweep)
@@ -171,6 +187,8 @@ def _cmd_fig6(args) -> None:
             loads=tuple(args.loads),
             packets_per_node=args.packets,
             seed=args.seed,
+            shards=args.shards,
+            shard_latency_ns=args.shard_latency,
         ),
         **_sweep_kwargs(args),
     )
@@ -205,6 +223,11 @@ def _cmd_fig7(args) -> None:
     )
     from repro.runner import run_sweep
 
+    status = _reject_shards(
+        args, "Fig. 7 workloads are closed-loop (receive hooks drive "
+        "the traffic)")
+    if status is not None:
+        return status
     sweep = run_sweep(
         figure7_spec(n_nodes=args.nodes, packets_per_node=args.packets,
                      seed=args.seed),
@@ -247,6 +270,10 @@ def _cmd_fig9(args) -> None:
     from repro.analysis.experiments import figure9_spec
     from repro.runner import run_sweep
 
+    status = _reject_shards(
+        args, "Fig. 9 cells are analytic power models, not simulations")
+    if status is not None:
+        return status
     sweep = run_sweep(figure9_spec(), **_sweep_kwargs(args))
     per_case = sweep.index("case")
     networks = ("dragonfly", "fattree", "multibutterfly")
@@ -327,6 +354,10 @@ def _cmd_resilience(args) -> None:
     from repro.faults import ChaosSchedule
     from repro.runner import run_sweep
 
+    status = _reject_shards(
+        args, "resilience cells inject faults mid-run")
+    if status is not None:
+        return status
     chaos = None
     if args.mtbf > 0:
         chaos = ChaosSchedule(
@@ -418,6 +449,8 @@ def _cmd_zoo(args) -> int:
             packets_per_node=args.packets,
             networks=tuple(args.networks),
             seed=args.seed,
+            shards=args.shards,
+            shard_latency_ns=args.shard_latency,
         ),
         **_sweep_kwargs(args),
     )
@@ -592,6 +625,15 @@ def build_parser() -> argparse.ArgumentParser:
                 help="checkpoint completions to journal F (default "
                      "repro-<command>.journal.jsonl) and skip cells "
                      "already recorded there")
+            p.add_argument(
+                "--shards", type=int, default=None, metavar="N",
+                help="run each cell on the sharded engine with N worker "
+                     "kernels (open-loop kinds only; DESIGN.md sec. 14)")
+            p.add_argument(
+                "--shard-latency", type=float, default=0.0, metavar="NS",
+                dest="shard_latency",
+                help="extra inter-shard fiber delay in ns on cut links "
+                     "(widens the lookahead window; 0 keeps the physics)")
         for arg, kwargs in extra.items():
             p.add_argument(f"--{arg}", **kwargs)
         return p

@@ -27,9 +27,10 @@ from heapq import heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import constants as C
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardingUnsupportedError
 from repro.netsim.network import NetworkSimulator
 from repro.netsim.packet import ACK_SIZE_BYTES, Packet
+from repro.shard.runtime import MSG_ARRIVE, MSG_DELIVER, shard_stream_seed
 from repro.sim.rand import stream
 from repro.tl.switch_circuit import switch_model
 from repro.topology.butterfly import MultiButterflyTopology
@@ -99,6 +100,7 @@ class BaldurNetwork(NetworkSimulator):
         "_slow_arb",
         "_fast",
         "_tx_cache",
+        "_seed",
     )
 
     def __init__(
@@ -144,6 +146,7 @@ class BaldurNetwork(NetworkSimulator):
         self.timeout_ns = timeout_ns
         self.max_attempts = max_attempts
         self.enable_retransmission = enable_retransmission
+        self._seed = seed
         self._rng = stream(seed, "baldur-arbitration")
         self._beb_rng = stream(seed, "baldur-beb")
 
@@ -383,11 +386,25 @@ class BaldurNetwork(NetworkSimulator):
         # open-coded) is safe here.
         queue = env._queue
         seq = env._seq
-        heappush(
-            queue,
-            (start + self.link_delay_ns, seq,
-             self._arrive_stage, (packet, 0, self._entry[src])),
-        )
+        ctx = self._shard_ctx
+        if ctx is None or ctx.stage_shard[0] == ctx.shard:
+            heappush(
+                queue,
+                (start + self.link_delay_ns, seq,
+                 self._arrive_stage, (packet, 0, self._entry[src])),
+            )
+            seq += 1
+        else:
+            # Sharded worker whose stage-0 block lives elsewhere: the
+            # injection-link hop crosses the cut.  The retransmission
+            # timeout (below) always stays with the source host.
+            ctx.send(
+                ctx.stage_shard[0],
+                (MSG_ARRIVE, start + self.link_delay_ns, 0,
+                 self._entry[src], packet.pid, src, packet.dst,
+                 packet.size_bytes, packet.create_time, packet.is_ack,
+                 packet.acked_pid, packet.hops),
+            )
         if (
             self.enable_retransmission
             and not packet.is_ack
@@ -395,12 +412,11 @@ class BaldurNetwork(NetworkSimulator):
         ):
             heappush(
                 queue,
-                (start + self.timeout_ns, seq + 1,
+                (start + self.timeout_ns, seq,
                  self._check_timeout, (packet, attempt)),
             )
-            env._seq = seq + 2
-        else:
-            env._seq = seq + 1
+            seq += 1
+        env._seq = seq
 
     # -- switch traversal ---------------------------------------------------------
 
@@ -552,22 +568,57 @@ class BaldurNetwork(NetworkSimulator):
         # save a call per hop) is safe.
         seq = env._seq
         env._seq = seq + 1
+        ctx = self._shard_ctx
+        if ctx is None:
+            if last:
+                # Head exits to the host link; last byte lands after tx
+                # time.  The delay sum is grouped exactly as the
+                # pre-optimization schedule(delay) call computed it --
+                # float addition is not associative, and byte-identity
+                # demands identical rounding.
+                heappush(
+                    env._queue,
+                    (now + (latency + link_delay + tx), seq,
+                     self._deliver, (packet,)),
+                )
+            else:
+                heappush(
+                    env._queue,
+                    (now + latency, seq,
+                     self._arrive_stage, (packet, stage + 1, targets[k])),
+                )
+            return
+        # Sharded worker: forward across the cut when the next element is
+        # owned elsewhere.  Cut inter-stage hops carry the optional extra
+        # inter-cabinet fiber delay (ctx.cut_delay_ns; plan lookahead).
         if last:
-            # Head exits to the host link; last byte lands after tx time.
-            # The delay sum is grouped exactly as the pre-optimization
-            # schedule(delay) call computed it -- float addition is not
-            # associative, and byte-identity demands identical rounding.
-            heappush(
-                env._queue,
-                (now + (latency + link_delay + tx), seq,
-                 self._deliver, (packet,)),
-            )
+            when = now + (latency + link_delay + tx)
+            dest = ctx.host_shard[packet.dst]
+            if dest == ctx.shard:
+                heappush(env._queue, (when, seq, self._deliver, (packet,)))
+            else:
+                ctx.send(
+                    dest,
+                    (MSG_DELIVER, when, packet.pid, packet.src, packet.dst,
+                     packet.size_bytes, packet.create_time, packet.is_ack,
+                     packet.acked_pid, packet.hops),
+                )
         else:
-            heappush(
-                env._queue,
-                (now + latency, seq,
-                 self._arrive_stage, (packet, stage + 1, targets[k])),
-            )
+            dest = ctx.stage_shard[stage + 1]
+            if dest == ctx.shard:
+                heappush(
+                    env._queue,
+                    (now + latency, seq,
+                     self._arrive_stage, (packet, stage + 1, targets[k])),
+                )
+            else:
+                ctx.send(
+                    dest,
+                    (MSG_ARRIVE, now + (latency + ctx.cut_delay_ns),
+                     stage + 1, targets[k], packet.pid, packet.src,
+                     packet.dst, packet.size_bytes, packet.create_time,
+                     packet.is_ack, packet.acked_pid, packet.hops),
+                )
 
     def _drop_in_network(
         self,
@@ -717,6 +768,181 @@ class BaldurNetwork(NetworkSimulator):
         self.env.schedule(
             backoff, self._transmit, packet, attempt + 1
         )
+
+    # -- sharded execution (repro.shard, DESIGN.md section 14) -------------------------
+
+    def shard_plan(self, n_shards: int, shard_latency_ns: float = 0.0):
+        """Stage-cut partition: contiguous stage blocks, matching
+        contiguous host blocks.  ``shard_latency_ns`` models extra
+        inter-cabinet fiber on the cut inter-stage hops (0.0 keeps
+        single-cabinet physics; the lookahead is then one switch
+        latency)."""
+        if self._wiring is None or self._bit_table is None:
+            raise ShardingUnsupportedError(
+                "sharded Baldur requires a topology with precomputed "
+                "wiring/bit tables (randomized multi-butterfly); "
+                f"{type(self.topology).__name__} has none"
+            )
+        from repro.shard.plan import multistage_plan
+
+        return multistage_plan(
+            self.topology,
+            n_shards,
+            link_delay_ns=self.link_delay_ns,
+            switch_latency_ns=self.switch_latency_ns,
+            cut_delay_ns=shard_latency_ns,
+        )
+
+    def _shard_check_supported(self) -> None:
+        reasons = []
+        if self.faulty_switches:
+            reasons.append("injected switch faults")
+        if self.masked_switches:
+            reasons.append("masked switches (degraded mode)")
+        if self.test_port is not None:
+            reasons.append("diagnosis test mode")
+        if self._record_paths:
+            reasons.append("path recording")
+        if reasons:
+            raise ShardingUnsupportedError(
+                "cannot shard this Baldur run: " + "; ".join(reasons)
+            )
+
+    def shard_recipe(self):
+        return (
+            type(self),
+            {
+                "n_nodes": self.n_nodes,
+                "multiplicity": self.multiplicity,
+                "seed": self._seed,
+                "link_delay_ns": self.link_delay_ns,
+                "timeout_ns": self.timeout_ns,
+                "max_attempts": self.max_attempts,
+                "enable_retransmission": self.enable_retransmission,
+                # The live topology object: inherited copy-on-write by
+                # forked workers, shared by inline workers -- read-only
+                # either way, and never pickled.
+                "topology": self.topology,
+                "packet_filter": self.packet_filter,
+                "ack_coalescing": self.ack_coalescing,
+                "ack_coalesce_window_ns": self.ack_coalesce_window_ns,
+                "link_rate_gbps": self.link_rate_gbps,
+            },
+        )
+
+    def _shard_bind(self, ctx, root_seed: int) -> None:
+        """Rebind the RNG streams to the documented per-shard contract:
+        shard ``i`` draws from ``stream(derive_seed(root, f"shard:{i}"),
+        label)`` with the unchanged substream labels."""
+        super()._shard_bind(ctx, root_seed)
+        seed = shard_stream_seed(root_seed, ctx.shard)
+        self._rng = stream(seed, "baldur-arbitration")
+        self._beb_rng = stream(seed, "baldur-beb")
+        self._randrange = self._rng.randrange
+        self._getrandbits = self._rng.getrandbits
+        # _hot caches _getrandbits; rebuild it with the shard stream.
+        self._hot = (
+            self._sps,
+            self._last_stage,
+            self.multiplicity,
+            self._busy,
+            self._bit_table,
+            self._wiring,
+            self.switch_latency_ns,
+            self.link_delay_ns,
+            self.link_rate_gbps,
+            self._getrandbits,
+            self.env,
+        )
+
+    def _shard_schedule_inbox(self, messages) -> None:
+        env = self.env
+        for msg in messages:
+            kind = msg[0]
+            if kind == MSG_ARRIVE:
+                (_kind, when, stage, switch, pid, src, dst, size_bytes,
+                 create_time, is_ack, acked_pid, hops) = msg
+                packet = Packet(
+                    pid=pid,
+                    src=src,
+                    dst=dst,
+                    size_bytes=size_bytes,
+                    create_time=create_time,
+                    is_ack=is_ack,
+                    acked_pid=acked_pid,
+                )
+                packet.hops = hops
+                env.schedule_at(when, self._arrive_stage, packet, stage, switch)
+            elif kind == MSG_DELIVER:
+                (_kind, when, pid, src, dst, size_bytes,
+                 create_time, is_ack, acked_pid, hops) = msg
+                packet = Packet(
+                    pid=pid,
+                    src=src,
+                    dst=dst,
+                    size_bytes=size_bytes,
+                    create_time=create_time,
+                    is_ack=is_ack,
+                    acked_pid=acked_pid,
+                )
+                packet.hops = hops
+                env.schedule_at(when, self._deliver, packet)
+            else:  # pragma: no cover - protocol bug
+                raise ConfigurationError(
+                    f"unknown cross-shard message kind {kind}"
+                )
+
+    def _shard_note_remote_delivery(self, pid: int) -> None:
+        # The destination shard delivered this packet: mark it delivered
+        # locally so _check_timeout stands down (same set _deliver uses;
+        # the pid spaces cannot collide -- data pids are parent-allocated
+        # and globally unique).
+        self._delivered_pids.add(pid)
+
+    def _shard_unmatched_delivery_notice(self, pid: int) -> None:
+        if pid in self._given_up_pids:
+            # Outcome conflict inside one lookahead window: the source
+            # gave up while the delivery (already executed remotely) was
+            # in notice flight.  Both outcomes were counted; one
+            # correction unit rebalances the audit.
+            self._ledger_corrections += 1
+        else:
+            super()._shard_unmatched_delivery_notice(pid)
+
+    def _shard_export(self):
+        payload = super()._shard_export()
+        payload["lost_packets"] = self.lost_packets
+        payload["acks_sent"] = self.acks_sent
+        payload["filtered_packets"] = self.filtered_packets
+        payload["retx_buffer_bytes"] = self._retx_buffer_bytes
+        payload["peak_retx_buffer_bytes"] = self.peak_retx_buffer_bytes
+        payload["unreachable"] = self.unreachable
+        payload["given_up_pids"] = sorted(self._given_up_pids)
+        return payload
+
+    def _shard_absorb(self, payloads, plan, until) -> None:
+        super()._shard_absorb(payloads, plan, until)
+        self.lost_packets = sum(p["lost_packets"] for p in payloads)
+        self.acks_sent = sum(p["acks_sent"] for p in payloads)
+        self.filtered_packets = sum(p["filtered_packets"] for p in payloads)
+        # Per-host arrays are only ever touched on the owning shard, so
+        # elementwise sum/max reconstructs the owner's values exactly.
+        n = self.n_nodes
+        self._retx_buffer_bytes = [
+            sum(p["retx_buffer_bytes"][i] for p in payloads) for i in range(n)
+        ]
+        self.peak_retx_buffer_bytes = [
+            max(p["peak_retx_buffer_bytes"][i] for p in payloads)
+            for i in range(n)
+        ]
+        given_up: Set[int] = set()
+        unreachable: Dict[Tuple[int, int], int] = {}
+        for p in payloads:
+            given_up.update(p["given_up_pids"])
+            for flow, count in p["unreachable"].items():
+                unreachable[flow] = unreachable.get(flow, 0) + count
+        self._given_up_pids = given_up
+        self.unreachable = unreachable
 
     # -- reporting --------------------------------------------------------------------
 

@@ -47,6 +47,17 @@ class SweepExecutionError(ReproError):
     instead and the sweep returns partial results."""
 
 
+class ShardingUnsupportedError(ConfigurationError):
+    """Raised when ``run(shards=N)`` with ``N > 1`` is requested for a
+    network or configuration the sharded engine cannot execute: the
+    buffered electrical simulators (their credit feedback is zero-latency,
+    so the conservative lookahead window would be empty — DESIGN.md
+    section 14), closed-loop workloads (``receive_hook``), attached
+    observability (tracer/metrics/profiler), fault injection, or a
+    simulator whose pending event queue holds anything other than plain
+    packet injections."""
+
+
 class InvariantViolationError(ReproError):
     """Raised when the packet-conservation audit detects a leak: the ledger
     ``injected = delivered + terminally dropped + given up + in flight``

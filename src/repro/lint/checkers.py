@@ -47,6 +47,7 @@ HOT_CLOCK_PREFIXES = (
     "repro.netsim",
     "repro.electrical",
     "repro.zoo",
+    "repro.shard",
 )
 """Packages in which CLK-001 and DET-001 apply (the simulation core).
 
@@ -60,6 +61,8 @@ SLOTS_MODULES = (
     "repro.core.baldur_network",
     "repro.zoo.rotor",
     "repro.topology.rotor",
+    "repro.shard.runtime",
+    "repro.shard.plan",
 )
 """Exact modules (plus the ``repro.netsim`` package) checked by SLOTS-001."""
 

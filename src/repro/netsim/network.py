@@ -39,12 +39,17 @@ from __future__ import annotations
 
 import functools
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import constants as C
-from repro.errors import ConfigurationError, InvariantViolationError
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolationError,
+    ShardingUnsupportedError,
+)
 from repro.netsim.packet import Packet
 from repro.netsim.stats import LatencyStats
+from repro.shard.runtime import NOTICE_DELIVERED, NOTICE_TERMINAL
 from repro.sim import Environment
 
 __all__ = ["NetworkSimulator"]
@@ -67,7 +72,15 @@ class NetworkSimulator:
         "tracer",
         "metrics",
         "_outstanding",
+        "_shard_ctx",
+        "_ledger_corrections",
     )
+
+    # Networks whose event model cannot be executed sharded set this to a
+    # human-readable reason (the buffered electrical fabrics: zero-latency
+    # credit feedback means zero conservative lookahead, DESIGN.md sec. 14).
+    # None means run(shards=N) may proceed if the class defines a plan.
+    _shard_exec_unsupported_reason: Optional[str] = None
 
     def __init__(self, n_nodes: int):
         if n_nodes < 2:
@@ -83,6 +96,14 @@ class NetworkSimulator:
         self.metrics = None
         # Conservation ledger: pids of data packets whose fate is still open.
         self._outstanding: Set[int] = set()
+        # Sharded execution (repro.shard).  _shard_ctx is None except on a
+        # worker replica inside a sharded run; every hot-path branch tests
+        # `is None` first so the single-kernel path is byte-identical.
+        self._shard_ctx: Optional[Any] = None
+        # Cross-shard outcome conflicts resolved at barriers (a packet both
+        # delivered remotely and given up locally inside one lookahead
+        # window); audit() balances the ledger with this term.
+        self._ledger_corrections = 0
 
     # -- message injection ------------------------------------------------------
 
@@ -189,6 +210,24 @@ class NetworkSimulator:
 
     def _on_delivered(self, packet: Packet, time: float) -> None:
         """Record the delivery and fire the closed-loop hook."""
+        ctx = self._shard_ctx
+        if ctx is not None:
+            # Worker replica: the conservation-ledger entry lives on the
+            # shard owning the packet's *source* host.  Delivery stats are
+            # recorded here (the destination shard) and the per-delivery
+            # latency is logged with its timestamp for the global merge.
+            owner = ctx.host_shard[packet.src]
+            if owner != ctx.shard:
+                ctx.notify(owner, NOTICE_DELIVERED, packet.pid)
+            else:
+                try:
+                    self._outstanding.remove(packet.pid)
+                except KeyError:
+                    self._resolve(packet, "delivered")
+            latency = time - packet.create_time
+            self.stats.record_delivery(latency)
+            ctx.latency_log.append((time, latency))
+            return
         try:
             # Inlined _resolve: this runs once per delivery on every
             # network, and the extra frame was measurable.
@@ -203,6 +242,13 @@ class NetworkSimulator:
 
     def _record_terminal_drop(self, packet: Packet) -> None:
         """A data packet was lost for good (no retransmission will follow)."""
+        ctx = self._shard_ctx
+        if ctx is not None:
+            owner = ctx.host_shard[packet.src]
+            if owner != ctx.shard:
+                ctx.notify(owner, NOTICE_TERMINAL, packet.pid)
+                self.stats.record_terminal_drop()
+                return
         self._resolve(packet, "terminally dropped")
         self.stats.record_terminal_drop()
 
@@ -232,7 +278,16 @@ class NetworkSimulator:
         """
         self.stats.in_flight = len(self._outstanding)
         ledger = self.stats.conservation()
-        if ledger["balance"] != 0:
+        corrections = self._ledger_corrections
+        if corrections:
+            # Sharded runs only: a packet can be both delivered (counted at
+            # the destination shard) and given up (counted at the source
+            # shard) inside one lookahead window; each conflict was
+            # resolved at a barrier and balances one ledger unit here.
+            # Unsharded runs always have corrections == 0 and an
+            # unchanged ledger dict.
+            ledger["conflict_corrections"] = corrections
+        if ledger["balance"] + corrections != 0:
             raise InvariantViolationError(
                 f"packet conservation violated ({type(self).__name__}): "
                 + ", ".join(f"{k}={v}" for k, v in ledger.items())
@@ -357,9 +412,188 @@ class NetworkSimulator:
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None) -> LatencyStats:
+    def run(
+        self,
+        until: Optional[float] = None,
+        shards: int = 1,
+        shard_latency_ns: float = 0.0,
+    ) -> LatencyStats:
         """Run to completion (or to ``until`` ns), audit packet
-        conservation, and return the stats."""
+        conservation, and return the stats.
+
+        ``shards > 1`` executes the submitted workload on that many
+        event kernels in parallel worker processes, synchronized with
+        conservative lookahead windows (:mod:`repro.shard`, DESIGN.md
+        section 14).  ``shards=1`` is the single-kernel path, untouched.
+        ``shard_latency_ns`` adds inter-cabinet fiber delay on cut
+        inter-stage hops (stage-cut plans only; 0.0 keeps single-cabinet
+        physics and a lookahead of one switch latency).
+        """
+        if shards != 1:
+            from repro.shard.engine import run_sharded
+
+            result: LatencyStats = run_sharded(
+                self, shards, until=until, shard_latency_ns=shard_latency_ns
+            )
+            return result
         self.env.run(until=until)
         self.audit()
         return self.stats
+
+    # -- sharded execution hooks (repro.shard) -----------------------------------
+    #
+    # The window engine drives worker replicas of this network through the
+    # hooks below; networks that support sharded execution override
+    # shard_plan/shard_recipe (and the inbox handler) while the generic
+    # ledger/stats merge lives here.  See DESIGN.md section 14.
+
+    def shard_plan(self, n_shards: int, shard_latency_ns: float = 0.0) -> Any:
+        """Partition plan for this network (see :mod:`repro.shard.plan`)."""
+        raise ShardingUnsupportedError(
+            f"{type(self).__name__} defines no shard partition plan"
+        )
+
+    def _shard_check_supported(self) -> None:
+        """Veto hook: subclasses raise ShardingUnsupportedError for
+        subclass-specific state the worker replicas cannot reproduce
+        (e.g. Baldur's injected faults or diagnosis modes)."""
+
+    def shard_recipe(self) -> Tuple[Any, Dict[str, Any]]:
+        """``(cls, ctor_kwargs)`` used to build worker replicas.  The
+        kwargs reuse the live topology object (inherited copy-on-write by
+        forked workers, never pickled)."""
+        raise ShardingUnsupportedError(
+            f"{type(self).__name__} cannot build shard worker replicas"
+        )
+
+    def _shard_bind(self, ctx: Any, root_seed: int) -> None:
+        """Attach a worker replica to its ShardContext.  Subclasses with
+        RNG streams rebind them here to the documented per-shard contract
+        ``derive_seed(root_seed, f"shard:{i}")``."""
+        self._shard_ctx = ctx
+
+    def _shard_resubmit(
+        self, injections: Sequence[Tuple[float, Packet]], next_pid: int
+    ) -> None:
+        """Replay this shard's slice of the submitted workload, preserving
+        the parent-assigned pids (global uniqueness) and the global pid
+        counter (locally allocated ACK pids start past every data pid)."""
+        record_injection = self.stats.record_injection
+        outstanding_add = self._outstanding.add
+        inject = self._inject
+        to_schedule = []
+        for when, packet in injections:
+            record_injection()
+            outstanding_add(packet.pid)
+            to_schedule.append((when, inject, (packet,)))
+        self.env.schedule_batch(to_schedule)
+        self._next_pid = next_pid
+
+    def _shard_schedule_inbox(self, messages: Sequence[Any]) -> None:
+        """Turn one window's cross-shard messages into local events.
+        Messages arrive sorted by (time, origin shard, origin index)."""
+        raise ShardingUnsupportedError(
+            f"{type(self).__name__} defines no cross-shard message handler"
+        )
+
+    def _shard_apply_notices(self, notices: Sequence[Tuple[int, int]]) -> None:
+        """Apply one window's ledger notices (barrier metadata, never
+        simulated events, so a delivery just before the horizon still
+        closes its ledger entry)."""
+        outstanding = self._outstanding
+        for kind, pid in notices:
+            if kind == NOTICE_DELIVERED:
+                if pid in outstanding:
+                    outstanding.remove(pid)
+                    self._shard_note_remote_delivery(pid)
+                else:
+                    self._shard_unmatched_delivery_notice(pid)
+            elif kind == NOTICE_TERMINAL:
+                if pid in outstanding:
+                    outstanding.remove(pid)
+                else:
+                    raise InvariantViolationError(
+                        f"terminal-drop notice for packet {pid} which was "
+                        "already resolved on its source shard"
+                    )
+            else:  # pragma: no cover - protocol bug
+                raise ConfigurationError(f"unknown ledger notice kind {kind}")
+
+    def _shard_note_remote_delivery(self, pid: int) -> None:
+        """A packet owned here was delivered on another shard (subclasses
+        with retransmission mark it delivered so timeouts stand down)."""
+
+    def _shard_unmatched_delivery_notice(self, pid: int) -> None:
+        """Delivery notice for a pid no longer outstanding: a leak unless
+        a subclass can prove a benign outcome conflict (see Baldur)."""
+        raise InvariantViolationError(
+            f"delivery notice for packet {pid} which was already resolved "
+            "on its source shard"
+        )
+
+    def _shard_export(self) -> Dict[str, Any]:
+        """Worker-side final payload: counters, open ledger entries, and
+        the timestamped latency log for the deterministic global merge."""
+        st = self.stats
+        ctx = self._shard_ctx
+        assert ctx is not None
+        return {
+            "now": self.env.now,
+            "injected": st.injected,
+            "delivered": st.delivered,
+            "drops": st.drops,
+            "ack_drops": st.ack_drops,
+            "retransmissions": st.retransmissions,
+            "terminal_drops": st.terminal_drops,
+            "given_up": st.given_up,
+            "outstanding": sorted(self._outstanding),
+            "corrections": self._ledger_corrections,
+            "latency_log": ctx.latency_log,
+            "next_pid": self._next_pid,
+        }
+
+    def _shard_absorb(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        plan: Any,
+        until: Optional[float],
+    ) -> None:
+        """Merge worker payloads back into this (parent) network.
+
+        Latencies are rebuilt ordered by ``(deliver_time, shard, local
+        index)`` — a pure function of (seed, shard count), so the merged
+        stats (and their digest) are deterministic.  The parent kernel's
+        pending injections are cleared (the workers executed them) and
+        its clock is advanced to the horizon.
+        """
+        st = self.stats
+        for field in (
+            "injected",
+            "delivered",
+            "drops",
+            "ack_drops",
+            "retransmissions",
+            "terminal_drops",
+            "given_up",
+        ):
+            setattr(st, field, sum(p[field] for p in payloads))
+        merged: List[Tuple[float, int, int, float]] = []
+        for shard, payload in enumerate(payloads):
+            for idx, (when, latency) in enumerate(payload["latency_log"]):
+                merged.append((when, shard, idx, latency))
+        merged.sort(key=lambda e: (e[0], e[1], e[2]))
+        st.latencies = [e[3] for e in merged]
+        self._outstanding = set()
+        for payload in payloads:
+            self._outstanding.update(payload["outstanding"])
+        self._ledger_corrections = sum(p["corrections"] for p in payloads)
+        self._next_pid = max(p["next_pid"] for p in payloads)
+        env = self.env
+        env._queue.clear()
+        env._run = []
+        env._ridx = 0
+        env._now = (
+            float(until)
+            if until is not None
+            else max(float(p["now"]) for p in payloads)
+        )

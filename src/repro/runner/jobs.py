@@ -89,6 +89,8 @@ def _execute_open_loop(params: Mapping[str, Any]) -> Dict[str, Any]:
         until=params["until"],
         tracer=tracer,
         metrics=metrics,
+        shards=params.get("shards"),
+        shard_latency_ns=params.get("shard_latency_ns", 0.0),
     )
     return _attach_obs_result(_summary(stats), tracer, metrics)
 
@@ -105,6 +107,12 @@ def _execute_workload(params: Mapping[str, Any]) -> Dict[str, Any]:
         run_ping_pong,
     )
 
+    if params.get("shards") not in (None, 1):
+        raise ConfigurationError(
+            "workload cells are closed-loop (receive hooks drive the "
+            "traffic), which the sharded engine does not support; "
+            "drop shards for this sweep kind"
+        )
     workload = params["workload"]
     n_nodes = params["n_nodes"]
     seed = params["seed"]
@@ -149,7 +157,11 @@ def _execute_table5(params: Mapping[str, Any]) -> Dict[str, Any]:
         net, transpose(params["n_nodes"]), params["load"],
         params["packets_per_node"], seed=params["seed"],
     )
-    stats = net.run(until=params["until"])
+    stats = net.run(
+        until=params["until"],
+        shards=params.get("shards") or 1,
+        shard_latency_ns=params.get("shard_latency_ns", 0.0),
+    )
     return {
         "multiplicity": m,
         "gates_per_switch": model.gate_count,
@@ -166,6 +178,11 @@ def _execute_resilience(params: Mapping[str, Any]) -> Dict[str, Any]:
     from repro.analysis.resilience import run_with_failures
     from repro.faults import ChaosSchedule
 
+    if params.get("shards") not in (None, 1):
+        raise ConfigurationError(
+            "resilience cells inject faults mid-run, which the sharded "
+            "engine does not support; drop shards for this sweep kind"
+        )
     chaos_params = params.get("chaos")
     chaos = ChaosSchedule(**chaos_params) if chaos_params else None
     return run_with_failures(

@@ -36,6 +36,7 @@ from repro import constants as C
 from repro.errors import ConfigurationError
 from repro.netsim.network import NetworkSimulator
 from repro.netsim.packet import Packet
+from repro.shard.runtime import MSG_DELIVER
 from repro.topology.rotor import RotorTopology
 
 __all__ = ["RotorNetwork"]
@@ -188,6 +189,12 @@ class RotorNetwork(NetworkSimulator):
         hop_ns = self._hop_ns
         tracer = self.tracer
         metrics = self.metrics
+        # Sharded worker: the whole FIFO drains toward one destination, so
+        # the ownership test hoists out of the loop.  The delivery delay
+        # (tx + hop_ns > hop_ns) is bounded below by the plan lookahead.
+        ctx = self._shard_ctx
+        dest = -1 if ctx is None else ctx.host_shard[dst]
+        cross = ctx is not None and dest != ctx.shard
         while queue:
             packet = queue[0]
             tx = packet.serialization_time_ns(rate)
@@ -202,7 +209,16 @@ class RotorNetwork(NetworkSimulator):
                 )
             if metrics is not None:
                 metrics.incr("rotor_tx", rotor, free)
-            env.schedule_at(free + tx + hop_ns, self._deliver, packet)
+            if cross:
+                ctx.send(
+                    dest,
+                    (MSG_DELIVER, free + tx + hop_ns, packet.pid,
+                     packet.src, packet.dst, packet.size_bytes,
+                     packet.create_time, packet.is_ack, packet.acked_pid,
+                     packet.hops),
+                )
+            else:
+                env.schedule_at(free + tx + hop_ns, self._deliver, packet)
             free += tx
         self._uplink_free_at[idx] = free
         if not queue:
@@ -246,6 +262,76 @@ class RotorNetwork(NetworkSimulator):
     def _deliver(self, packet: Packet) -> None:
         packet.deliver_time = self.env.now
         self._on_delivered(packet, self.env.now)
+
+    # -- sharded execution (repro.shard, DESIGN.md section 14) ----------------
+
+    def shard_plan(self, n_shards: int, shard_latency_ns: float = 0.0):
+        """Host-cut partition.  Rotor switch state is a pure function of
+        simulated time (no buffers, no RNG), so every worker replicates
+        the rotation and only host state (VOQs, uplink serialization
+        clocks) is partitioned; deliveries are scheduled end-to-end with
+        at least ``2 * link_delay + switch_latency`` of delay, which is
+        the lookahead.  ``shard_latency_ns`` does not apply."""
+        from repro.shard.plan import host_plan
+
+        return host_plan(
+            self.n_nodes, n_shards, hop_delay_ns=self._hop_ns, kind="rotor"
+        )
+
+    def shard_recipe(self):
+        return (
+            type(self),
+            {
+                "n_nodes": self.n_nodes,
+                "n_rotors": self.n_rotors,
+                "slot_ns": self.slot_ns,
+                "reconfig_ns": self.reconfig_ns,
+                "link_delay_ns": self.link_delay_ns,
+                "link_rate_gbps": self.link_rate_gbps,
+                "switch_latency_ns": self.switch_latency_ns,
+                "topology": self.topology,
+            },
+        )
+
+    def _shard_schedule_inbox(self, messages) -> None:
+        env = self.env
+        for msg in messages:
+            if msg[0] != MSG_DELIVER:  # pragma: no cover - protocol bug
+                raise ConfigurationError(
+                    f"unknown cross-shard message kind {msg[0]}"
+                )
+            (_kind, when, pid, src, dst, size_bytes,
+             create_time, is_ack, acked_pid, hops) = msg
+            packet = Packet(
+                pid=pid,
+                src=src,
+                dst=dst,
+                size_bytes=size_bytes,
+                create_time=create_time,
+                is_ack=is_ack,
+                acked_pid=acked_pid,
+            )
+            packet.hops = hops
+            env.schedule_at(when, self._deliver, packet)
+
+    def _shard_export(self):
+        payload = super()._shard_export()
+        payload["queued"] = self._queued
+        payload["uplink_free_at"] = self._uplink_free_at
+        return payload
+
+    def _shard_absorb(self, payloads, plan, until) -> None:
+        super()._shard_absorb(payloads, plan, until)
+        # Horizon leftovers: VOQ contents stay with the (discarded) worker
+        # replicas -- the conservation ledger already counts them as
+        # in-flight -- but the aggregate queue depth and the per-uplink
+        # clocks (owner-only writes, so elementwise max) are merged for
+        # reporting.
+        self._queued = sum(p["queued"] for p in payloads)
+        self._uplink_free_at = [
+            max(p["uplink_free_at"][i] for p in payloads)
+            for i in range(self.n_rotors * self.n_nodes)
+        ]
 
     # -- reporting ------------------------------------------------------------
 
