@@ -11,12 +11,12 @@ The paper's claim: randomization makes Baldur immune to worst-case
 permutations; deterministic multi-stage wirings are not.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis.tables import format_table
 from repro.core import BaldurNetwork
 from repro.core.drop_model import _dst_transpose, one_shot_drop_rate
+from repro.sim.rand import numpy_stream
 from repro.topology import BenesTopology, MultiButterflyTopology, OmegaTopology
 
 N_NODES = 1024
@@ -31,7 +31,7 @@ def _one_shot_on_topology(topology) -> float:
         enable_retransmission=False,
         topology=topology,
     )
-    dst = _dst_transpose(N_NODES, np.random.default_rng(0))
+    dst = _dst_transpose(N_NODES, numpy_stream(0, "ablation-transpose"))
     for src in range(N_NODES):
         if dst[src] != src:
             net.submit(src, int(dst[src]), time=0.0)

@@ -939,7 +939,7 @@ class BaldurNetwork(NetworkSimulator):
         unreachable: Dict[Tuple[int, int], int] = {}
         for p in payloads:
             given_up.update(p["given_up_pids"])
-            for flow, count in p["unreachable"].items():
+            for flow, count in sorted(p["unreachable"].items()):
                 unreachable[flow] = unreachable.get(flow, 0) + count
         self._given_up_pids = given_up
         self.unreachable = unreachable

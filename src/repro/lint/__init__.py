@@ -2,11 +2,13 @@
 
 A small AST-walking analyzer purpose-built for this repro.  The engine
 (:mod:`repro.lint.engine`) provides the checker registry, suppression
-comments, and file discovery; the repo-specific rules live in
-:mod:`repro.lint.checkers`; reporters in :mod:`repro.lint.report`; the
+comments, and file discovery; the single-file rules live in
+:mod:`repro.lint.checkers`; the whole-project symbol/call graph in
+:mod:`repro.lint.graph`; the flow-aware parallelism-safety rules in
+:mod:`repro.lint.flow`; reporters in :mod:`repro.lint.report`; the
 ``repro-lint`` console script in :mod:`repro.lint.cli`.
 
-See DESIGN.md section 11 for the architecture and rule catalog.
+See DESIGN.md sections 11 and 15 for the architecture and rule catalog.
 """
 
 from __future__ import annotations
@@ -23,8 +25,9 @@ from repro.lint.engine import (
     run_lint,
 )
 
-# Importing the checkers module registers the built-in rules.
+# Importing the rule modules registers the built-in rules.
 import repro.lint.checkers as checkers  # noqa: E402
+import repro.lint.flow as flow  # noqa: E402
 
 __all__ = [
     "DEFAULT_EXCLUDED_DIRS",
@@ -33,6 +36,7 @@ __all__ = [
     "Rule",
     "SourceFile",
     "checkers",
+    "flow",
     "iter_source_files",
     "module_name_for",
     "registry",

@@ -1,8 +1,10 @@
-"""The built-in repro-specific checkers (the rule catalog).
+"""The built-in single-file checkers (the syntactic half of the catalog).
 
 Each checker is a generator ``(SourceFile) -> Iterator[Finding]``
-registered with :func:`repro.lint.engine.checker`.  The six shipped rules
-pin the determinism and invariant contracts documented in DESIGN.md:
+registered with :func:`repro.lint.engine.checker`.  The six rules here
+pin the determinism and invariant contracts documented in DESIGN.md;
+the flow-aware, whole-project rules (SEED/FORK/MERGE/FLOAT/SUPP/STALE)
+live in :mod:`repro.lint.flow` on top of :mod:`repro.lint.graph`.
 
 ========== ================================================================
 rule       contract it pins
@@ -39,6 +41,7 @@ __all__ = [
     "FAST_PATH_ALLOWLIST",
     "HOT_CLOCK_PREFIXES",
     "SLOTS_MODULES",
+    "fast_path_sites",
 ]
 
 HOT_CLOCK_PREFIXES = (
@@ -493,6 +496,43 @@ def _queue_aliases(scope: ast.AST) -> Tuple[Set[str], Set[str]]:
     return queues, pushes
 
 
+def fast_path_sites(
+    src: SourceFile,
+) -> Iterator[Tuple[str, ast.Call, str]]:
+    """Every candidate fast-path push in ``src``.
+
+    Yields ``(qualname, call_node, kind)`` with ``kind`` one of
+    ``"_push"`` / ``"heappush"``.  FAST-001 flags the sites missing from
+    :data:`FAST_PATH_ALLOWLIST`; STALE-001 (``repro.lint.flow``) flags
+    the allowlist entries matching none of these sites, so both rules
+    share one definition of "site" and cannot drift.
+    """
+    imports = ImportMap(src.tree)
+    # Conservative whole-file alias sets: a name bound to ``*._queue`` or
+    # ``heapq.heappush`` anywhere marks it suspect everywhere (no
+    # per-scope dataflow; over-flagging is the safe direction here, and
+    # the escape hatch is the allowlist, not evasion).
+    queue_names, push_names = _queue_aliases(src.tree)
+    for node, qual in walk_with_qualname(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "_push":
+            yield qual, node, "_push"
+            continue
+        is_heappush = imports.resolve(func) == "heapq.heappush" or (
+            isinstance(func, ast.Name) and func.id in push_names
+        )
+        if not is_heappush or not node.args:
+            continue
+        target = node.args[0]
+        onto_queue = (
+            isinstance(target, ast.Attribute) and target.attr == "_queue"
+        ) or (isinstance(target, ast.Name) and target.id in queue_names)
+        if onto_queue:
+            yield qual, node, "heappush"
+
+
 @checker(
     "FAST-001",
     "unvalidated event-queue push outside the audited allowlist",
@@ -506,37 +546,18 @@ def check_fast_path(src: SourceFile) -> Iterator[Finding]:
     :data:`FAST_PATH_ALLOWLIST`.  Anything else should call
     ``Environment.schedule``/``schedule_at``/``schedule_batch``.
     """
-    imports = ImportMap(src.tree)
-    # Conservative whole-file alias sets: a name bound to ``*._queue`` or
-    # ``heapq.heappush`` anywhere marks it suspect everywhere (no
-    # per-scope dataflow; over-flagging is the safe direction here, and
-    # the escape hatch is the allowlist, not evasion).
-    queue_names, push_names = _queue_aliases(src.tree)
-    for node, qual in walk_with_qualname(src.tree):
-        if not isinstance(node, ast.Call):
+    for qual, node, kind in fast_path_sites(src):
+        if (src.module, qual) in FAST_PATH_ALLOWLIST:
             continue
-        allowed = (src.module, qual) in FAST_PATH_ALLOWLIST
-        func = node.func
-        if isinstance(func, ast.Attribute) and func.attr == "_push":
-            if not allowed:
-                yield src.finding(
-                    "FAST-001",
-                    node,
-                    "Environment._push bypasses delay validation; call "
-                    "schedule()/schedule_at() or add this audited site "
-                    "to repro.lint.checkers.FAST_PATH_ALLOWLIST",
-                )
-            continue
-        is_heappush = imports.resolve(func) == "heapq.heappush" or (
-            isinstance(func, ast.Name) and func.id in push_names
-        )
-        if not is_heappush or not node.args:
-            continue
-        target = node.args[0]
-        onto_queue = (
-            isinstance(target, ast.Attribute) and target.attr == "_queue"
-        ) or (isinstance(target, ast.Name) and target.id in queue_names)
-        if onto_queue and not allowed:
+        if kind == "_push":
+            yield src.finding(
+                "FAST-001",
+                node,
+                "Environment._push bypasses delay validation; call "
+                "schedule()/schedule_at() or add this audited site "
+                "to repro.lint.checkers.FAST_PATH_ALLOWLIST",
+            )
+        else:
             yield src.finding(
                 "FAST-001",
                 node,

@@ -31,8 +31,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests"],
-        help="files or directories to lint (default: src tests)",
+        default=None,
+        help=(
+            "files or directories to lint (default: src tests plus "
+            "benchmarks/examples when present)"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -63,6 +66,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print RULE's summary and rationale, then exit",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,16 +85,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+"""Default lint roots; the optional ones are skipped when absent."""
+
+
+def _default_paths() -> List[str]:
+    paths = [p for p in DEFAULT_PATHS if Path(p).exists()]
+    return paths or list(DEFAULT_PATHS[:2])
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed *args*; returns exit code."""
     # Populate the registry before listing or running rules.
     import repro.lint.checkers  # noqa: F401
+    import repro.lint.flow  # noqa: F401
     from repro.lint.engine import DEFAULT_EXCLUDED_DIRS, registry
 
     if args.list_rules:
         for rule in registry.rules():
             print(f"{rule.id}: {rule.summary}")
         return 0
+
+    if args.explain is not None:
+        try:
+            rule = registry.get(args.explain)
+        except KeyError:
+            known = ", ".join(r.id for r in registry.rules())
+            print(
+                f"error: unknown rule {args.explain!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{rule.id}: {rule.summary}")
+        if rule.rationale:
+            print()
+            print(rule.rationale)
+        return 0
+
+    if not args.paths:
+        args.paths = _default_paths()
 
     select: Optional[List[str]] = None
     if args.select is not None:

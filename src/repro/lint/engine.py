@@ -8,38 +8,52 @@ violations late (after an expensive golden-figure diff); this engine
 catches them at commit time by walking the AST of every source file
 through a registry of repo-specific checkers (:mod:`repro.lint.checkers`).
 
-Architecture (DESIGN.md section 11):
+Architecture (DESIGN.md sections 11 and 15):
 
 * :class:`SourceFile` -- one parsed file: path, derived dotted module
   name, AST, and its suppression table;
 * :class:`CheckerRegistry` -- rule id -> checker function; checkers are
   plain generators registered with the :func:`checker` decorator, so
-  adding a rule is one decorated function;
-* :func:`run_lint` -- discovery + execution + suppression filtering,
+  adding a rule is one decorated function.  A checker declares a
+  *scope*: ``"file"`` checkers see one :class:`SourceFile` at a time
+  (the PR 5 rules); ``"project"`` checkers see the whole-tree
+  :class:`~repro.lint.graph.ProjectGraph` built after every file has
+  been indexed (the flow-aware rules); the ``"audit"`` checker runs
+  last over the indexed sources, after every other rule has recorded
+  which suppression comments it actually used (SUPP-001);
+* :func:`run_lint` -- two-phase execution: phase 1 parses and indexes
+  every discovered file, phase 2 runs file checkers per file, then
+  project checkers over the graph, then the suppression audit --
   returning a :class:`LintReport` that the reporters in
   :mod:`repro.lint.report` render as text or JSON.
 
 Suppression syntax: a ``# repro-lint: disable=RULE[,RULE...]`` comment on
 its own line disables the listed rules (or ``all``) for the whole file; as
-a trailing comment it disables them for that line only.
+a trailing comment it disables them for that line only.  Comments are
+recognised with the tokenizer, so the same text inside a string literal
+is inert.  Every suppression must earn its keep: a comment that silences
+nothing is itself a finding (SUPP-001) on full runs, so suppressions
+cannot rot in place after the code they excused is gone.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Any,
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
     Iterator,
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
 )
 
@@ -51,6 +65,7 @@ __all__ = [
     "PARSE_RULE",
     "Rule",
     "SourceFile",
+    "Suppression",
     "checker",
     "iter_source_files",
     "module_name_for",
@@ -80,10 +95,37 @@ _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_, \-]+)")
 
 @dataclass(frozen=True)
 class Rule:
-    """Identity and one-line summary of one registered checker."""
+    """Identity, one-line summary, and rationale of one registered checker.
+
+    ``rationale`` is the checker function's docstring, surfaced by
+    ``repro-lint --explain RULE`` so the "why" travels with the rule
+    instead of living only in DESIGN.md.
+    """
 
     id: str
     summary: str
+    rationale: str = ""
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment in a file.
+
+    ``used`` flips to True the first time the comment actually silences
+    a finding; comments still False after every checker has run are
+    dead weight and reported by SUPP-001.
+    """
+
+    line: int
+    rules: FrozenSet[str]
+    file_level: bool
+    used: bool = False
+
+    def matches(self, rule: str, line: int) -> bool:
+        """True if this comment disables ``rule`` at ``line``."""
+        if "all" not in self.rules and rule not in self.rules:
+            return False
+        return self.file_level or line == self.line
 
 
 @dataclass(frozen=True)
@@ -114,6 +156,40 @@ class Finding:
         }
 
 
+def _parse_suppressions(text: str) -> List[Suppression]:
+    """Every suppression comment in ``text``, in source order.
+
+    Comments are located with :mod:`tokenize` so the suppression syntax
+    inside a string literal (e.g. a lint test writing fixture sources)
+    never counts.  A comment on its own line (only whitespace before the
+    ``#``) is file-level; a trailing comment is line-level.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # ast.parse accepted the file, so this is unreachable in
+        # practice; fall back to treating it as comment-free.
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if not rules:
+            continue
+        file_level = token.line[: token.start[1]].strip() == ""
+        suppressions.append(Suppression(
+            line=token.start[0], rules=rules, file_level=file_level,
+        ))
+    return suppressions
+
+
 class SourceFile:
     """One parsed source file plus its per-file/per-line suppressions."""
 
@@ -122,21 +198,7 @@ class SourceFile:
         self.module = module
         self.text = text
         self.tree: ast.Module = ast.parse(text, filename=str(path))
-        self.file_disabled: Set[str] = set()
-        self.line_disabled: Dict[int, Set[str]] = {}
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match is None:
-                continue
-            rules = {
-                part.strip() for part in match.group(1).split(",")
-                if part.strip()
-            }
-            code = line[: match.start()].strip()
-            if code:
-                self.line_disabled.setdefault(lineno, set()).update(rules)
-            else:
-                self.file_disabled.update(rules)
+        self.suppressions: List[Suppression] = _parse_suppressions(text)
 
     def finding(
         self, rule: str, node: ast.AST, message: str
@@ -152,16 +214,28 @@ class SourceFile:
         )
 
     def suppressed(self, rule: str, line: int) -> bool:
-        """True if ``rule`` is disabled for this file or this line."""
-        if "all" in self.file_disabled or rule in self.file_disabled:
-            return True
-        at_line = self.line_disabled.get(line)
-        return at_line is not None and (
-            "all" in at_line or rule in at_line
-        )
+        """True if ``rule`` is disabled for this file or this line.
+
+        Marks every matching suppression comment as used, which is what
+        the SUPP-001 audit keys on.
+        """
+        hit = False
+        for suppression in self.suppressions:
+            if suppression.matches(rule, line):
+                suppression.used = True
+                hit = True
+        return hit
 
 
 CheckerFn = Callable[[SourceFile], Iterator[Finding]]
+"""A ``"file"``-scope checker: one :class:`SourceFile` -> findings."""
+
+AnyCheckerFn = Callable[[Any], Iterator[Finding]]
+"""Any checker; ``"project"`` scope takes a ``ProjectGraph``, ``"audit"``
+scope takes the full ``Sequence[SourceFile]``."""
+
+SCOPES = ("file", "project", "audit")
+"""Valid checker scopes, in the order :func:`run_lint` executes them."""
 
 
 class CheckerRegistry:
@@ -169,21 +243,31 @@ class CheckerRegistry:
 
     Checkers self-register at import time via the :func:`checker`
     decorator; :func:`run_lint` consults the registry so third parties
-    (or tests) can run with a private registry or a rule subset.
+    (or tests) can run with a private registry or a rule subset.  Each
+    checker carries a *scope* deciding what :func:`run_lint` feeds it:
+    ``"file"`` (one :class:`SourceFile` per call), ``"project"`` (the
+    whole-tree :class:`~repro.lint.graph.ProjectGraph`, built once), or
+    ``"audit"`` (every parsed :class:`SourceFile`, after all other
+    rules have run -- only on unrestricted runs, because "unused
+    suppression" is meaningless when most rules were deselected).
     """
 
     def __init__(self) -> None:
-        self._checkers: Dict[str, Tuple[Rule, CheckerFn]] = {}
+        self._checkers: Dict[str, Tuple[Rule, AnyCheckerFn, str]] = {}
 
     def register(
-        self, rule_id: str, summary: str
-    ) -> Callable[[CheckerFn], CheckerFn]:
+        self, rule_id: str, summary: str, scope: str = "file"
+    ) -> Callable[[AnyCheckerFn], AnyCheckerFn]:
         """Decorator registering a checker under ``rule_id``."""
+        if scope not in SCOPES:
+            raise ValueError(f"unknown checker scope {scope!r}")
 
-        def decorate(fn: CheckerFn) -> CheckerFn:
+        def decorate(fn: AnyCheckerFn) -> AnyCheckerFn:
             if rule_id in self._checkers:
                 raise ValueError(f"duplicate checker for rule {rule_id!r}")
-            self._checkers[rule_id] = (Rule(rule_id, summary), fn)
+            rationale = " ".join((fn.__doc__ or "").split())
+            rule = Rule(rule_id, summary, rationale)
+            self._checkers[rule_id] = (rule, fn, scope)
             return fn
 
         return decorate
@@ -192,10 +276,14 @@ class CheckerRegistry:
         """Every registered rule, sorted by id."""
         return [self._checkers[key][0] for key in sorted(self._checkers)]
 
+    def get(self, rule_id: str) -> Rule:
+        """The :class:`Rule` for ``rule_id`` (KeyError when unknown)."""
+        return self._checkers[rule_id][0]
+
     def items(
         self, select: Optional[Iterable[str]] = None
-    ) -> List[Tuple[Rule, CheckerFn]]:
-        """(rule, checker) pairs, optionally restricted to ``select``."""
+    ) -> List[Tuple[Rule, AnyCheckerFn, str]]:
+        """(rule, checker, scope) triples, restricted to ``select``."""
         if select is None:
             return [self._checkers[key] for key in sorted(self._checkers)]
         unknown = sorted(set(select) - set(self._checkers))
@@ -303,13 +391,14 @@ def module_name_for(path: Path) -> str:
     Files under a ``src`` directory map to their import path
     (``src/repro/sim/core.py`` -> ``repro.sim.core``); anything else maps
     to its path parts relative to the last recognisable anchor (so test
-    files become ``tests.test_x``).  The fixture corpus exploits the
-    ``src`` anchor: ``tests/lint_fixtures/src/repro/netsim/x.py`` lints
-    as module ``repro.netsim.x``, which is how fixtures exercise
-    module-scoped rules.
+    files become ``tests.test_x`` and benchmark scripts become
+    ``benchmarks.bench_x``).  The fixture corpus exploits the anchors:
+    ``tests/lint_fixtures/src/repro/netsim/x.py`` lints as module
+    ``repro.netsim.x`` and ``tests/lint_fixtures/benchmarks/y.py`` as
+    ``benchmarks.y``, which is how fixtures exercise module-scoped rules.
     """
     parts = list(path.with_suffix("").parts)
-    for anchor in ("src", "tests"):
+    for anchor in ("src", "benchmarks", "examples", "tests"):
         if anchor in parts:
             index = len(parts) - 1 - parts[::-1].index(anchor)
             tail = parts[index + 1:] if anchor == "src" else parts[index:]
@@ -370,6 +459,14 @@ def run_lint(
 ) -> LintReport:
     """Run the registered checkers over ``paths`` and collect findings.
 
+    Two-phase execution (DESIGN.md section 15): phase 1 parses every
+    discovered file (parse failures become ``E-PARSE`` findings); phase
+    2 runs ``"file"``-scope checkers per file, then builds the
+    :class:`~repro.lint.graph.ProjectGraph` and runs the
+    ``"project"``-scope flow rules over it, then -- on unrestricted runs
+    only -- the ``"audit"`` pass (SUPP-001), which must see which
+    suppression comments the earlier rules consumed.
+
     ``select`` restricts to a subset of rule ids; ``exclude_dirs``
     replaces the default directory prune list (pass ``()`` to lint the
     fixture corpus); ``reg`` substitutes a private registry (tests).
@@ -379,7 +476,19 @@ def run_lint(
     if reg is None:
         reg = registry
     checkers = reg.items(select)
-    report = LintReport(rules=[rule for rule, _ in checkers])
+    report = LintReport(rules=[rule for rule, _fn, _scope in checkers])
+    sources: List[SourceFile] = []
+    by_path: Dict[str, SourceFile] = {}
+
+    def admit(finding: Finding) -> None:
+        src = by_path.get(finding.path)
+        if src is not None and src.suppressed(finding.rule, finding.line):
+            report.suppressed += 1
+        else:
+            report.findings.append(finding)
+
+    # Phase 1: parse and index every file before any checker runs, so
+    # project-scope rules see the complete module graph.
     for path in iter_source_files(paths, exclude_dirs):
         report.n_files += 1
         try:
@@ -394,12 +503,42 @@ def run_lint(
                 message=f"cannot parse: {exc}", module=module_name_for(path),
             ))
             continue
-        for _rule, fn in checkers:
+        sources.append(src)
+        by_path[str(src.path)] = src
+
+    # Phase 2a: single-file syntactic rules.
+    for src in sources:
+        for _rule, fn, scope in checkers:
+            if scope != "file":
+                continue
             for finding in fn(src):
-                if src.suppressed(finding.rule, finding.line):
-                    report.suppressed += 1
-                else:
-                    report.findings.append(finding)
+                admit(finding)
+
+    # Phase 2b: whole-project flow rules over the symbol/call graph.
+    # The graph is only built when a project rule is actually selected,
+    # keeping `--select RNG-001`-style runs as cheap as before.
+    if any(scope == "project" for _rule, _fn, scope in checkers):
+        from repro.lint.graph import ProjectGraph
+
+        graph = ProjectGraph(sources)
+        for _rule, fn, scope in checkers:
+            if scope != "project":
+                continue
+            for finding in fn(graph):
+                admit(finding)
+
+    # Phase 2c: the suppression audit.  Restricted runs skip it: with
+    # most rules deselected, "unused" would misfire on every comment
+    # whose rule did not get a chance to consume it.  Audit findings
+    # bypass the suppression filter -- an unused ``disable=all`` comment
+    # must not be able to suppress the report of its own unused-ness --
+    # so the audit checker itself honours explicit SUPP-001 mentions.
+    if select is None:
+        for _rule, fn, scope in checkers:
+            if scope != "audit":
+                continue
+            report.findings.extend(fn(sources))
+
     report.findings.sort(
         key=lambda f: (f.path, f.line, f.col, f.rule)
     )

@@ -1,0 +1,432 @@
+"""Whole-project symbol/import/call graph for flow-aware lint rules.
+
+The PR 5 rules are single-file syntactic checks; the properties that
+keep the fork-worker runner (PR 6) and the sharded PDES engine (PR 9)
+byte-identical are *cross-module*: a seed literal two modules away from
+the ``Random`` it feeds, a module-level cache mutated by a helper that a
+worker entry point reaches through three calls.  This module builds the
+project-wide view those rules need:
+
+* :class:`ModuleIndex` -- one module's symbol table: import aliases,
+  every function/method by dotted qualname, and the module-level globals
+  (with mutable-container classification);
+* :class:`FunctionInfo` -- one function's outbound edges: resolved
+  references to other project symbols, bare method-attribute calls, and
+  writes to module-level state (own module or cross-module through
+  import aliases);
+* :class:`ProjectGraph` -- the indexed modules plus transitive
+  *worker reachability* from the declared :data:`ENTRY_POINTS`.
+
+Reachability is deliberately over-approximate in the sound direction:
+method calls resolve by bare name against every project class (no type
+inference), referencing a function (e.g. passing it to a pool) counts
+as calling it, and touching a class marks all of its methods reachable.
+A false "reachable" costs an allowlist entry; a false "unreachable"
+would let fork-unsafe state ship.  Module-level (import-time) code is
+*not* a reachability root: it runs once per process before any fork, so
+import-time registration latches are fork-safe by construction
+(DESIGN.md section 15).
+
+Test modules (``tests.*``) are indexed but excluded from bare-name
+resolution, so a test helper sharing a method name with a hot-path
+method does not pull the test tree into the worker-reachable set.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import ImportMap, SourceFile, walk_with_qualname
+
+__all__ = [
+    "ENTRY_POINTS",
+    "FunctionInfo",
+    "ModuleIndex",
+    "ProjectGraph",
+]
+
+ENTRY_POINTS: Tuple[Tuple[str, str], ...] = (
+    # Fork-pool workers (PR 6): every job executor runs in a forked
+    # child via the pool's worker wrapper.
+    ("repro.runner.jobs", "execute_job"),
+    ("repro.runner.jobs", "_execute_*"),
+    ("repro.runner.engine", "_timed_execute"),
+    # Sharded PDES workers (PR 9): the process-backend main and every
+    # shard-worker method run inside forked shard processes.
+    ("repro.shard.engine", "_worker_main"),
+    ("repro.shard.engine", "_ShardWorker.*"),
+)
+"""Declared worker/shard entry points as (module, qualname-glob) pairs.
+
+This is the *entry-point declaration contract* (DESIGN.md section 15):
+any new code path that executes inside a forked worker process must be
+reachable from one of these patterns, or add its root here in the same
+PR that introduces it.  Qualnames match with :func:`fnmatch.fnmatchcase`
+so ``_execute_*`` tracks new job executors automatically.
+"""
+
+_MUTATOR_METHODS = frozenset({
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "extendleft",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+})
+"""Container methods that mutate their receiver in place."""
+
+_MUTABLE_FACTORIES = frozenset({
+    "collections.Counter",
+    "collections.OrderedDict",
+    "collections.defaultdict",
+    "collections.deque",
+    "dict",
+    "list",
+    "set",
+})
+"""Callables whose result is a mutable container."""
+
+
+def _is_mutable_container(node: ast.expr, imports: ImportMap) -> bool:
+    """Syntactic 'this expression builds a mutable container' test."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = imports.resolve(node.func)
+        return resolved in _MUTABLE_FACTORIES
+    return False
+
+
+class FunctionInfo:
+    """Outbound edges and state writes of one function/method.
+
+    ``refs`` holds import-resolved dotted names the body mentions (call
+    targets *and* bare references, so callbacks handed to a pool count);
+    ``attr_calls`` holds bare method names from ``obj.method(...)``
+    calls, resolved later against the project-wide name index;
+    ``global_writes`` holds ``(module, global_name, node)`` triples for
+    every write this function performs against module-level state.
+    """
+
+    def __init__(self, module: str, qualname: str,
+                 node: ast.AST) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.node = node
+        self.refs: Set[str] = set()
+        self.attr_calls: Set[str] = set()
+        self.global_writes: List[Tuple[str, str, ast.AST]] = []
+
+
+def _own_statements(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of a function body in source order, skipping nested defs.
+
+    Nested functions get :class:`FunctionInfo` records of their own;
+    their writes must not be attributed to the enclosing function.
+    Source (preorder) traversal matters to SEED-001's reused-seed check,
+    which flags the *second* construction sharing a seed variable.
+    """
+    stack = list(reversed(list(ast.iter_child_nodes(fn_node))))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            stack.extend(
+                reversed(list(ast.iter_child_nodes(node)))
+            )
+
+
+class ModuleIndex:
+    """Symbol table + per-function edge records for one module."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.module = source.module
+        self.imports = ImportMap(source.tree)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Set[str] = set()
+        #: module-level global name -> definition line
+        self.globals: Dict[str, int] = {}
+        #: subset of :attr:`globals` bound to a mutable container
+        self.mutable_globals: Set[str] = set()
+        self._index_module_level()
+        self._index_functions()
+
+    def _index_module_level(self) -> None:
+        for stmt in self.source.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                self.globals[target.id] = stmt.lineno
+                if value is not None and _is_mutable_container(
+                    value, self.imports
+                ):
+                    self.mutable_globals.add(target.id)
+
+    def _index_functions(self) -> None:
+        for node, qual in walk_with_qualname(self.source.tree):
+            if isinstance(node, ast.ClassDef):
+                self.classes.add(qual)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[qual] = self._index_one(node, qual)
+
+    def _index_one(self, fn_node: ast.AST, qual: str) -> FunctionInfo:
+        info = FunctionInfo(self.module, qual, fn_node)
+        declared_global: Set[str] = set()
+        for node in _own_statements(fn_node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        for node in _own_statements(fn_node):
+            if isinstance(node, ast.Call):
+                self._record_call(info, node)
+            elif isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
+                getattr(node, "ctx", None), ast.Load
+            ):
+                resolved = self.imports.resolve(node)
+                if resolved is not None:
+                    info.refs.add(resolved)
+            self._record_write(info, node, declared_global)
+        return info
+
+    def _record_call(self, info: FunctionInfo, node: ast.Call) -> None:
+        func = node.func
+        resolved = self.imports.resolve(func)
+        if resolved is not None:
+            info.refs.add(resolved)
+        if isinstance(func, ast.Attribute):
+            info.attr_calls.add(func.attr)
+
+    def _record_write(
+        self,
+        info: FunctionInfo,
+        node: ast.AST,
+        declared_global: Set[str],
+    ) -> None:
+        """Record writes to module-level state (own or cross-module)."""
+        # ``global NAME`` + assignment: rebinding module state, mutable
+        # or not (a bool latch flipped in a worker is just as lost on
+        # fork-exit as a dict entry).
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and (
+                    target.id in declared_global
+                ):
+                    info.global_writes.append(
+                        (self.module, target.id, node)
+                    )
+                else:
+                    self._record_container_write(info, target, node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_container_write(info, target, node)
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr in _MUTATOR_METHODS:
+            owner = self._global_for(node.func.value)
+            if owner is not None:
+                info.global_writes.append((owner[0], owner[1], node))
+
+    def _record_container_write(
+        self, info: FunctionInfo, target: ast.expr, node: ast.AST
+    ) -> None:
+        """``G[k] = v`` / ``G.attr = v`` / ``del G[k]`` on a global."""
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            owner = self._global_for(target.value)
+            if owner is not None:
+                info.global_writes.append((owner[0], owner[1], node))
+
+    def _global_for(
+        self, node: ast.expr
+    ) -> Optional[Tuple[str, str]]:
+        """(module, name) when ``node`` denotes a module-level global.
+
+        Handles the local spelling (``CACHE``), the imported-name
+        spelling (``from m import CACHE; CACHE``), and the
+        module-attribute spelling (``import m; m.CACHE``).
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.globals:
+                return (self.module, node.id)
+            imported = self.imports.names.get(node.id)
+            if imported is not None and "." in imported:
+                module, _, name = imported.rpartition(".")
+                return (module, name)
+            return None
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            module = self.imports.modules.get(node.value.id)
+            if module is None:
+                # ``from repro import workerstate as ws; ws.X = ...``
+                module = self.imports.names.get(node.value.id)
+            if module is not None:
+                return (module, node.attr)
+        return None
+
+
+class ProjectGraph:
+    """The indexed project plus worker-reachability closure."""
+
+    def __init__(
+        self,
+        sources: Sequence[SourceFile],
+        entry_points: Sequence[Tuple[str, str]] = ENTRY_POINTS,
+    ) -> None:
+        self.modules: Dict[str, ModuleIndex] = {}
+        for source in sources:
+            # Last parse wins on (pathological) duplicate module names;
+            # discovery order is sorted so this stays deterministic.
+            self.modules[source.module] = ModuleIndex(source)
+        #: (module, qualname) -> FunctionInfo across the whole project
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        for index in self.modules.values():
+            for qual, info in index.functions.items():
+                self.functions[(index.module, qual)] = info
+        self._name_index = self._build_name_index()
+        self.reachable: Set[Tuple[str, str]] = set()
+        self._compute_reachability(entry_points)
+
+    # -- construction ------------------------------------------------------
+
+    def _build_name_index(self) -> Dict[str, List[Tuple[str, str]]]:
+        """Final qualname segment -> candidate definitions.
+
+        ``tests.*`` modules are excluded so bare method names in hot
+        code never resolve into the test tree.
+        """
+        index: Dict[str, List[Tuple[str, str]]] = {}
+        for (module, qual) in sorted(self.functions):
+            if module == "tests" or module.startswith("tests."):
+                continue
+            index.setdefault(qual.rsplit(".", 1)[-1], []).append(
+                (module, qual)
+            )
+        return index
+
+    def _resolve_ref(self, module: str, ref: str) -> List[Tuple[str, str]]:
+        """Project definitions a resolved dotted reference may denote.
+
+        A bare name resolves within its own module (sibling function or
+        class); a dotted name resolves by longest module prefix
+        (``repro.sim.core.Environment`` -> module ``repro.sim.core``,
+        symbol ``Environment``).
+        """
+        if "." not in ref:
+            own = self.modules.get(module)
+            if own is not None and (
+                ref in own.functions or ref in own.classes
+            ):
+                return [(module, ref)]
+            return []
+        parts = ref.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            owner = ".".join(parts[:cut])
+            if owner in self.modules:
+                qual = ".".join(parts[cut:])
+                index = self.modules[owner]
+                if qual in index.functions or qual in index.classes:
+                    return [(owner, qual)]
+                return []
+        return []
+
+    def _class_members(
+        self, module: str, class_qual: str
+    ) -> List[Tuple[str, str]]:
+        index = self.modules[module]
+        prefix = class_qual + "."
+        return [
+            (module, qual) for qual in index.functions
+            if qual.startswith(prefix)
+        ]
+
+    def _compute_reachability(
+        self, entry_points: Sequence[Tuple[str, str]]
+    ) -> None:
+        worklist: List[Tuple[str, str]] = []
+
+        def push(target: Tuple[str, str]) -> None:
+            module, qual = target
+            owner = self.modules.get(module)
+            if owner is not None and qual in owner.classes:
+                # Touching a class makes every method callable: the
+                # instance escapes into worker code we cannot type.
+                for member in self._class_members(module, qual):
+                    push(member)
+                return
+            if target in self.functions and target not in self.reachable:
+                self.reachable.add(target)
+                worklist.append(target)
+
+        for mod_pat, qual_pat in entry_points:
+            for (module, qual) in sorted(self.functions):
+                if fnmatchcase(module, mod_pat) and fnmatchcase(
+                    qual, qual_pat
+                ):
+                    push((module, qual))
+
+        while worklist:
+            module, qual = worklist.pop()
+            info = self.functions[(module, qual)]
+            for ref in sorted(info.refs):
+                for target in self._resolve_ref(module, ref):
+                    push(target)
+            for attr in sorted(info.attr_calls):
+                for target in self._name_index.get(attr, []):
+                    push(target)
+
+    # -- query API for checkers -------------------------------------------
+
+    def source(self, module: str) -> SourceFile:
+        """The :class:`SourceFile` backing ``module``."""
+        return self.modules[module].source
+
+    def is_reachable(self, module: str, qualname: str) -> bool:
+        """True when ``qualname`` (or an enclosing def) is worker-reachable.
+
+        Checks qualname ancestors so code inside a nested function of a
+        reachable function counts as reachable too.
+        """
+        parts = qualname.split(".")
+        for cut in range(len(parts), 0, -1):
+            if (module, ".".join(parts[:cut])) in self.reachable:
+                return True
+        return False
+
+    def reachable_functions(self) -> List[FunctionInfo]:
+        """Worker-reachable functions in deterministic order."""
+        return [
+            self.functions[key] for key in sorted(self.reachable)
+        ]
+
+    def writers_of(self, module: str, name: str) -> List[FunctionInfo]:
+        """Every function (reachable or not) writing global ``name``."""
+        return [
+            info for _key, info in sorted(self.functions.items())
+            if any(
+                wmod == module and wname == name
+                for wmod, wname, _node in info.global_writes
+            )
+        ]

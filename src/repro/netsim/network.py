@@ -290,7 +290,7 @@ class NetworkSimulator:
         if ledger["balance"] + corrections != 0:
             raise InvariantViolationError(
                 f"packet conservation violated ({type(self).__name__}): "
-                + ", ".join(f"{k}={v}" for k, v in ledger.items())
+                + ", ".join(f"{k}={v}" for k, v in sorted(ledger.items()))
             )
         return ledger
 

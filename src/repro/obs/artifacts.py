@@ -23,6 +23,9 @@ __all__ = ["register", "clear", "pending", "export_all", "artifacts_dir"]
 ARTIFACTS_DIR_ENV = "REPRO_TEST_ARTIFACTS_DIR"
 """Environment override for where failure artifacts are written."""
 
+# FORK-001 audited (repro.lint.flow.FORK_STATE_ALLOWLIST): deliberately
+# process-local -- each process exports the tracers *it* registered when
+# *it* fails; the registry never feeds simulation results.
 _PENDING: Dict[str, object] = {}
 
 

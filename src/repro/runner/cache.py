@@ -32,6 +32,9 @@ __all__ = ["ResultCache", "code_fingerprint", "result_digest"]
 # global would serve stale fingerprints to long-lived processes -- REPL
 # sessions, notebook kernels -- that edit code between sweeps).
 _Snapshot = Tuple[Tuple[str, int, int], ...]
+# FORK-001 audited (repro.lint.flow.FORK_STATE_ALLOWLIST): pure memo of
+# an on-disk property -- a fork worker's write is dropped at exit, which
+# costs one recomputation and can never change a result.
 _FINGERPRINT_CACHE: Dict[Path, Tuple[_Snapshot, str]] = {}
 
 

@@ -133,7 +133,7 @@ class SweepReport:
     @property
     def sim_time_s(self) -> float:
         """Total simulation wall time across jobs (> elapsed when parallel)."""
-        return sum(self.job_times_s.values())
+        return sum(sorted(self.job_times_s.values()))
 
     @property
     def ok(self) -> bool:

@@ -73,7 +73,7 @@ class ComponentRegistry:
 
     __slots__ = ("kind", "_components")
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
         self._components: Dict[str, Component] = {}
 

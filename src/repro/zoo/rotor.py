@@ -30,7 +30,7 @@ terminates like any other simulator.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import constants as C
 from repro.errors import ConfigurationError
@@ -38,6 +38,9 @@ from repro.netsim.network import NetworkSimulator
 from repro.netsim.packet import Packet
 from repro.shard.runtime import MSG_DELIVER
 from repro.topology.rotor import RotorTopology
+
+if TYPE_CHECKING:
+    from repro.shard.plan import ShardPlan
 
 __all__ = ["RotorNetwork"]
 
@@ -79,8 +82,8 @@ class RotorNetwork(NetworkSimulator):
         link_delay_ns: float = C.BALDUR_LINK_DELAY_NS,
         link_rate_gbps: float = C.LINK_DATA_RATE_GBPS,
         switch_latency_ns: float = 0.0,
-        topology=None,
-    ):
+        topology: Optional[RotorTopology] = None,
+    ) -> None:
         """Build a rotor network.
 
         ``topology`` accepts any rotation schedule exposing the
@@ -265,7 +268,9 @@ class RotorNetwork(NetworkSimulator):
 
     # -- sharded execution (repro.shard, DESIGN.md section 14) ----------------
 
-    def shard_plan(self, n_shards: int, shard_latency_ns: float = 0.0):
+    def shard_plan(
+        self, n_shards: int, shard_latency_ns: float = 0.0
+    ) -> "ShardPlan":
         """Host-cut partition.  Rotor switch state is a pure function of
         simulated time (no buffers, no RNG), so every worker replicates
         the rotation and only host state (VOQs, uplink serialization
@@ -278,7 +283,7 @@ class RotorNetwork(NetworkSimulator):
             self.n_nodes, n_shards, hop_delay_ns=self._hop_ns, kind="rotor"
         )
 
-    def shard_recipe(self):
+    def shard_recipe(self) -> Tuple[Any, Dict[str, Any]]:
         return (
             type(self),
             {
@@ -293,7 +298,7 @@ class RotorNetwork(NetworkSimulator):
             },
         )
 
-    def _shard_schedule_inbox(self, messages) -> None:
+    def _shard_schedule_inbox(self, messages: Sequence[Any]) -> None:
         env = self.env
         for msg in messages:
             if msg[0] != MSG_DELIVER:  # pragma: no cover - protocol bug
@@ -314,13 +319,18 @@ class RotorNetwork(NetworkSimulator):
             packet.hops = hops
             env.schedule_at(when, self._deliver, packet)
 
-    def _shard_export(self):
+    def _shard_export(self) -> Dict[str, Any]:
         payload = super()._shard_export()
         payload["queued"] = self._queued
         payload["uplink_free_at"] = self._uplink_free_at
         return payload
 
-    def _shard_absorb(self, payloads, plan, until) -> None:
+    def _shard_absorb(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        plan: Any,
+        until: Optional[float],
+    ) -> None:
         super()._shard_absorb(payloads, plan, until)
         # Horizon leftovers: VOQ contents stay with the (discarded) worker
         # replicas -- the conservation ledger already counts them as

@@ -1,0 +1,13 @@
+"""SEED-001 true positives: ad-hoc, unseeded, and reused seeds."""
+
+import random
+
+import numpy as np
+
+
+def make_streams(seed):
+    literal = random.Random(42)
+    entropy = np.random.default_rng()
+    first = random.Random(seed)
+    second = random.Random(seed)
+    return literal, entropy, first, second

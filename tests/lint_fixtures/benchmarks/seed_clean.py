@@ -1,0 +1,14 @@
+"""SEED-001 clean twin: every stream seed derives from derive_seed."""
+
+import random
+
+from repro.sim.rand import derive_seed, numpy_stream
+
+
+def make_streams(master_seed):
+    arrivals = random.Random(derive_seed(master_seed, "arrivals"))
+    noise = numpy_stream(master_seed, "noise")
+    s = derive_seed(master_seed, "service")
+    service = random.Random(s)
+    wrapped = random.Random(int(derive_seed(master_seed, "wrapped")))
+    return arrivals, noise, service, wrapped

@@ -1,0 +1,25 @@
+"""FORK-001 fixture entry point: the write chain crosses modules.
+
+``_execute_demo`` matches the ``repro.runner.jobs`` / ``_execute_*``
+entry-point pattern; the hazardous writes live two calls away and in a
+different module, reached through an import alias -- exactly what a
+single-file rule cannot see.
+"""
+
+import repro.workerstate as ws
+
+
+def _execute_demo(params):
+    helper(params)
+    return {"ok": True}
+
+
+def helper(params):
+    ws.COUNTS["jobs"] = 1
+    _bump()
+
+
+def _bump():
+    from repro.workerstate import record
+
+    record("demo")

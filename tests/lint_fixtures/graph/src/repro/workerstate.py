@@ -1,0 +1,21 @@
+"""FORK-001 fixture state: module globals written on the worker path.
+
+``untouched`` also writes ``COUNTS`` but is reachable from no entry
+point, so it must *not* be flagged -- reachability, not mere writing,
+is the hazard.
+"""
+
+from typing import Dict
+
+COUNTS: Dict[str, int] = {}
+_TOTAL = 0
+
+
+def record(name):
+    global _TOTAL
+    _TOTAL += 1
+    COUNTS.setdefault(name, 0)
+
+
+def untouched():
+    COUNTS.clear()

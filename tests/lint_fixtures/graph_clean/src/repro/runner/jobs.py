@@ -1,0 +1,8 @@
+"""FORK-001 clean twin: workers keep state on job-local objects."""
+
+from repro.workerstate import snapshot
+
+
+def _execute_demo(params):
+    counts = {"jobs": 1}
+    return snapshot(counts)

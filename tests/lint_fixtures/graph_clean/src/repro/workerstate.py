@@ -1,0 +1,9 @@
+"""FORK-001 clean twin: module state is only *read* by worker code."""
+
+from typing import Dict
+
+LIMITS: Dict[str, int] = {"jobs": 8}
+
+
+def snapshot(counts):
+    return dict(counts, limit=LIMITS["jobs"])

@@ -1,0 +1,19 @@
+"""FLOAT-001 true positives: unordered float reductions."""
+
+
+class Window:
+    def __init__(self):
+        self.delays = {}
+        self.samples = {}
+
+    def total_delay(self):
+        return sum(self.delays.values())
+
+    def weighted(self):
+        return sum(v * 0.5 for v in self.samples.values())
+
+    def accumulate(self, byshard):
+        total = 0.0
+        for delay in byshard.values():
+            total += delay
+        return total

@@ -1,0 +1,17 @@
+"""MERGE-001 true positives: unsorted iteration on merge surfaces."""
+
+
+class Ledger:
+    def __init__(self):
+        self.pending = {}
+
+    def _shard_absorb(self, payloads):
+        for key, value in self.pending.items():
+            payloads[key] = value
+        return payloads
+
+    def _route(self, inbox):
+        return [shard for shard in {message[0] for message in inbox}]
+
+    def audit(self):
+        return ", ".join(f"{k}={v}" for k, v in self.pending.items())

@@ -1,0 +1,19 @@
+"""MERGE-001 clean twin: merge surfaces iterate in sorted order."""
+
+
+class Ledger:
+    def __init__(self):
+        self.pending = {}
+
+    def _shard_absorb(self, payloads):
+        for key, value in sorted(self.pending.items()):
+            payloads[key] = value
+        return payloads
+
+    def _route(self, inbox):
+        return list(sorted({message[0] for message in inbox}))
+
+    def audit(self):
+        return ", ".join(
+            f"{k}={v}" for k, v in sorted(self.pending.items())
+        )

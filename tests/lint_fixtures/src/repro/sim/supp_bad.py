@@ -1,0 +1,7 @@
+"""SUPP-001 true positive: a suppression with nothing to suppress."""
+
+import math  # repro-lint: disable=RNG-001
+
+
+def area(radius: float) -> float:
+    return math.pi * radius * radius

@@ -1,0 +1,9 @@
+"""SUPP-001 clean twin: the suppression still silences a finding."""
+
+# repro-lint: disable=RNG-001
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

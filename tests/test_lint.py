@@ -2,13 +2,20 @@
 
 Covers the engine (discovery, suppression, parse failures, registry),
 each shipped rule against its fixture corpus under
-``tests/lint_fixtures/``, the reporters, and both CLI entry points --
-plus the acceptance gate: the real ``src``/``tests`` tree lints clean.
+``tests/lint_fixtures/`` (including the multi-file graph corpora for the
+cross-module rules), the project graph builder, the SUPP-001 suppression
+audit and STALE-001 allowlist audit, the reporters (including JSON
+byte-determinism), and both CLI entry points -- plus the acceptance
+gate: the real tree (``src``/``tests``/``benchmarks``/``examples``)
+lints clean under every rule.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -16,12 +23,20 @@ import pytest
 from repro.lint import (
     DEFAULT_EXCLUDED_DIRS,
     Finding,
+    checkers,
+    flow,
     module_name_for,
     registry,
     run_lint,
 )
 from repro.lint.cli import main as lint_main
-from repro.lint.engine import PARSE_RULE, CheckerRegistry
+from repro.lint.engine import (
+    PARSE_RULE,
+    CheckerRegistry,
+    SourceFile,
+    iter_source_files,
+)
+from repro.lint.graph import ProjectGraph
 from repro.lint.report import render_json, render_text
 
 REPO = Path(__file__).resolve().parent.parent
@@ -29,9 +44,14 @@ FIXTURES = REPO / "tests" / "lint_fixtures"
 SIM = FIXTURES / "src" / "repro" / "sim"
 NETSIM = FIXTURES / "src" / "repro" / "netsim"
 RUNNER = FIXTURES / "src" / "repro" / "runner"
+SHARD = FIXTURES / "src" / "repro" / "shard"
+BENCH = FIXTURES / "benchmarks"
+GRAPH = FIXTURES / "graph"
+GRAPH_CLEAN = FIXTURES / "graph_clean"
 
 ALL_RULES = (
-    "CLK-001", "DET-001", "FAST-001", "JSON-001", "RNG-001", "SLOTS-001",
+    "CLK-001", "DET-001", "FAST-001", "FLOAT-001", "FORK-001", "JSON-001",
+    "MERGE-001", "RNG-001", "SEED-001", "SLOTS-001", "STALE-001", "SUPP-001",
 )
 
 
@@ -50,6 +70,9 @@ class TestRuleFixtures:
         ("SLOTS-001", NETSIM / "slots_bad.py", NETSIM / "slots_clean.py", 1),
         ("FAST-001", SIM / "fast_bad.py", SIM / "fast_clean.py", 3),
         ("JSON-001", RUNNER / "json_bad.py", RUNNER / "json_clean.py", 2),
+        ("SEED-001", BENCH / "seed_bad.py", BENCH / "seed_clean.py", 3),
+        ("MERGE-001", SHARD / "merge_bad.py", SHARD / "merge_clean.py", 3),
+        ("FLOAT-001", SHARD / "float_bad.py", SHARD / "float_clean.py", 3),
     )
 
     @pytest.mark.parametrize(
@@ -115,6 +138,14 @@ class TestEngine:
         assert module_name_for(
             Path("tests/lint_fixtures/src/repro/netsim/slots_bad.py")
         ) == "repro.netsim.slots_bad"
+        # Non-src anchors keep the anchor segment, so SEED-001's module
+        # prefixes can target benchmarks/ and examples/ trees.
+        assert module_name_for(
+            Path("benchmarks/bench_ablation_topology.py")
+        ) == "benchmarks.bench_ablation_topology"
+        assert module_name_for(
+            Path("tests/lint_fixtures/benchmarks/seed_bad.py")
+        ) == "benchmarks.seed_bad"
 
     def test_parse_failure_becomes_finding(self, tmp_path):
         bad = tmp_path / "broken.py"
@@ -138,8 +169,14 @@ class TestEngine:
         with pytest.raises(ValueError):
             reg.register("X-001", "second")(first)
 
-    def test_registry_ships_all_six_rules(self):
+    def test_registry_ships_all_twelve_rules(self):
         assert tuple(r.id for r in registry.rules()) == ALL_RULES
+
+    def test_every_rule_carries_a_rationale(self):
+        # --explain renders the checker docstring; an empty rationale
+        # means someone registered a checker without documenting it.
+        for rule in registry.rules():
+            assert rule.rationale, rule.id
 
     def test_fixture_dir_pruned_by_default(self):
         # Linting tests/ skips the deliberately-broken corpus...
@@ -158,14 +195,177 @@ class TestEngine:
         assert keys == sorted(keys)
 
 
+def graph_sources(root: Path):
+    """Parse a multi-file fixture corpus into SourceFile objects."""
+    return [
+        SourceFile(path, module_name_for(path), path.read_text())
+        for path in iter_source_files([root], exclude_dirs=())
+    ]
+
+
+class TestProjectGraph:
+    """The cross-module symbol/call graph under the FORK-001 corpus."""
+
+    def test_reachability_crosses_modules_and_aliases(self):
+        # _execute_demo (entry point) -> helper -> ws.COUNTS write and
+        # -> _bump -> record, through a module alias and a
+        # function-level from-import.
+        graph = ProjectGraph(graph_sources(GRAPH))
+        assert graph.is_reachable("repro.runner.jobs", "_execute_demo")
+        assert graph.is_reachable("repro.runner.jobs", "helper")
+        assert graph.is_reachable("repro.runner.jobs", "_bump")
+        assert graph.is_reachable("repro.workerstate", "record")
+
+    def test_unreached_writer_is_not_reachable(self):
+        # ``untouched`` writes COUNTS but no entry point reaches it:
+        # reachability, not mere writing, is the hazard.
+        graph = ProjectGraph(graph_sources(GRAPH))
+        assert not graph.is_reachable("repro.workerstate", "untouched")
+
+    def test_writers_of_sees_local_alias_and_global_forms(self):
+        graph = ProjectGraph(graph_sources(GRAPH))
+        writers = {
+            (w.module, w.qualname)
+            for w in graph.writers_of("repro.workerstate", "COUNTS")
+        }
+        assert writers == {
+            ("repro.runner.jobs", "helper"),       # ws.COUNTS[...] = 1
+            ("repro.workerstate", "record"),       # COUNTS.setdefault(...)
+            ("repro.workerstate", "untouched"),    # COUNTS.clear()
+        }
+        assert graph.writers_of("repro.workerstate", "GONE") == []
+
+    def test_fork_rule_flags_only_worker_reachable_writes(self):
+        report = run_lint([GRAPH], select=["FORK-001"], exclude_dirs=())
+        assert report.exit_code == 1
+        flagged = [(f.module, f.line) for f in report.findings]
+        assert flagged == [
+            ("repro.runner.jobs", 18),
+            ("repro.workerstate", 16),
+            ("repro.workerstate", 17),
+        ]
+
+    def test_clean_corpus_passes_every_rule(self):
+        report = run_lint([GRAPH_CLEAN], exclude_dirs=())
+        assert report.findings == [], render_text(report)
+
+
+class TestSuppressionAudit:
+    """SUPP-001: unused suppression comments are findings themselves."""
+
+    def test_unused_suppression_flagged_on_full_run(self):
+        report = run_lint([SIM / "supp_bad.py"], exclude_dirs=())
+        assert report.exit_code == 1
+        assert [(f.rule, f.line) for f in report.findings] == [
+            ("SUPP-001", 3)
+        ]
+
+    def test_used_suppressions_pass_the_audit(self):
+        report = run_lint([SIM / "supp_clean.py"], exclude_dirs=())
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_audit_skipped_under_select(self):
+        # --select runs a subset: a suppression for an unselected rule
+        # is trivially unused, so the audit only runs on full sweeps.
+        report = run_lint(
+            [SIM / "supp_bad.py"], select=["RNG-001"], exclude_dirs=()
+        )
+        assert report.findings == []
+
+    def test_suppression_text_inside_strings_is_inert(self, tmp_path):
+        # Tokenize-based parsing: a disable marker inside a string
+        # literal neither suppresses anything nor trips the audit.
+        src = tmp_path / "mod.py"
+        src.write_text('MARKER = "# repro-lint: disable=all"\n')
+        report = run_lint([src], exclude_dirs=())
+        assert report.findings == []
+        assert report.suppressed == 0
+
+
+class TestStaleAllowlists:
+    """STALE-001: audited allowlist entries must still match real code."""
+
+    def test_fast_allowlist_entry_matching_a_site_is_live(self, monkeypatch):
+        monkeypatch.setattr(
+            checkers, "FAST_PATH_ALLOWLIST",
+            frozenset({("repro.sim.fast_bad", "hurry")}),
+        )
+        report = run_lint(
+            [SIM / "fast_bad.py"], select=["STALE-001"], exclude_dirs=()
+        )
+        assert report.findings == []
+
+    def test_fast_allowlist_entry_without_a_site_is_stale(self, monkeypatch):
+        monkeypatch.setattr(
+            checkers, "FAST_PATH_ALLOWLIST",
+            frozenset({("repro.sim.fast_bad", "vanished")}),
+        )
+        report = run_lint(
+            [SIM / "fast_bad.py"], select=["STALE-001"], exclude_dirs=()
+        )
+        assert [f.rule for f in report.findings] == ["STALE-001"]
+        assert "vanished" in report.findings[0].message
+
+    def test_fork_allowlist_entry_with_writers_is_live(self, monkeypatch):
+        monkeypatch.setattr(
+            flow, "FORK_STATE_ALLOWLIST",
+            frozenset({("repro.workerstate", "COUNTS")}),
+        )
+        report = run_lint([GRAPH], select=["STALE-001"], exclude_dirs=())
+        assert report.findings == []
+
+    def test_fork_allowlist_entry_without_writers_is_stale(self, monkeypatch):
+        monkeypatch.setattr(
+            flow, "FORK_STATE_ALLOWLIST",
+            frozenset({("repro.workerstate", "GONE")}),
+        )
+        report = run_lint([GRAPH], select=["STALE-001"], exclude_dirs=())
+        assert [(f.rule, f.module) for f in report.findings] == [
+            ("STALE-001", "repro.workerstate")
+        ]
+
+    def test_real_allowlists_are_not_stale(self):
+        # The shipped FAST/FORK allowlists must keep matching real code;
+        # TestRealTreeClean implies this, but pin it by name too.
+        report = run_lint(
+            [REPO / "src"], select=["STALE-001"],
+            exclude_dirs=DEFAULT_EXCLUDED_DIRS,
+        )
+        assert report.findings == [], render_text(report)
+
+
 class TestRealTreeClean:
     def test_repro_lint_clean_on_shipped_tree(self):
         report = run_lint(
-            [REPO / "src", REPO / "tests"],
+            [REPO / "src", REPO / "tests", REPO / "benchmarks",
+             REPO / "examples"],
             exclude_dirs=DEFAULT_EXCLUDED_DIRS,
         )
         assert report.findings == [], render_text(report)
         assert report.n_files > 100
+
+
+class TestDeterminism:
+    def test_json_report_byte_identical_across_runs(self):
+        # The versioned JSON report is a CI artifact; two sweeps of the
+        # same tree must serialize to identical bytes.
+        paths = [REPO / "src", REPO / "benchmarks"]
+        first = render_json(run_lint(paths))
+        second = render_json(run_lint(paths))
+        assert first == second
+
+    def test_perf_guard_passes_on_shipped_tree(self):
+        # The CI wall-time guard: the whole-tree sweep stays inside the
+        # (deliberately loose) budget and exits zero.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_perf_guard.py")],
+            capture_output=True, text=True, env=env, cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "wall time" in proc.stdout
 
 
 class TestReporters:
@@ -231,6 +431,26 @@ class TestCli:
         err = capsys.readouterr().err
         assert "unknown rule" in err
         assert "not found" in err
+
+    def test_explain_prints_rule_rationale(self, capsys):
+        assert lint_main(["--explain", "SEED-001"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SEED-001:")
+        assert "derive_seed" in out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--explain", "NOPE-999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "SEED-001" in err  # the listing names the known rules
+
+    def test_no_paths_defaults_to_whole_tree(self, capsys, monkeypatch):
+        # CI runs `repro-lint` bare; the default roots must cover the
+        # benchmark and example trees, not just src/tests.
+        monkeypatch.chdir(REPO)
+        assert lint_main([]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("clean:")
 
     def test_repro_bench_lint_subcommand(self, capsys):
         from repro.cli import main as bench_main

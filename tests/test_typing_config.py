@@ -1,0 +1,94 @@
+"""Drift checks for the mypy --strict configuration.
+
+The strict package list lives in one place -- ``[tool.repro]
+mypy_strict_packages`` in pyproject.toml -- and CI derives its mypy path
+arguments from it via ``tools/mypy_strict_paths.py``.  These tests pin
+the invariants that keep the three consumers (pyproject, the script, the
+workflow) from drifting apart:
+
+* every strict package has a real ``src/`` directory;
+* no strict package is simultaneously exempted by the ``ignore_errors``
+  override (which would make the CI run a silent no-op for it);
+* the parallelism-sensitive packages (``repro.shard`` plus this PR's
+  ``repro.lint`` and ``repro.zoo``) are covered;
+* the script's output matches the pyproject list exactly.
+"""
+
+import subprocess
+import sys
+import tomllib
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "mypy_strict_paths.py"
+
+
+def load_pyproject():
+    with (REPO / "pyproject.toml").open("rb") as fh:
+        return tomllib.load(fh)
+
+
+def strict_packages():
+    return load_pyproject()["tool"]["repro"]["mypy_strict_packages"]
+
+
+def ignored_modules():
+    for override in load_pyproject()["tool"]["mypy"]["overrides"]:
+        if override.get("ignore_errors"):
+            modules = override["module"]
+            return [modules] if isinstance(modules, str) else modules
+    return []
+
+
+class TestStrictPackageList:
+    def test_nonempty_and_sorted(self):
+        packages = strict_packages()
+        assert packages, "strict package list must not be empty"
+        assert packages == sorted(packages)
+
+    def test_every_package_has_a_source_dir(self):
+        for package in strict_packages():
+            path = REPO / "src" / Path(*package.split("."))
+            assert path.is_dir(), f"{package} has no {path}"
+
+    def test_parallelism_sensitive_packages_covered(self):
+        packages = set(strict_packages())
+        assert {"repro.shard", "repro.lint", "repro.zoo"} <= packages
+
+    def test_no_strict_package_is_error_exempt(self):
+        # A package both in the strict list and matched by an
+        # ignore_errors override would pass CI while checking nothing.
+        exempt = ignored_modules()
+        for package in strict_packages():
+            for pattern in exempt:
+                assert not fnmatchcase(package, pattern), (
+                    f"strict package {package} is exempted by "
+                    f"ignore_errors pattern {pattern!r}"
+                )
+                assert not fnmatchcase(f"{package}.engine", pattern), (
+                    f"submodules of strict package {package} are "
+                    f"exempted by ignore_errors pattern {pattern!r}"
+                )
+
+
+class TestStrictPathsScript:
+    def run_tool(self, *args):
+        proc = subprocess.run(
+            [sys.executable, str(TOOL), *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout.split()
+
+    def test_paths_match_pyproject(self):
+        expected = [
+            ("src/" + package.replace(".", "/"))
+            for package in sorted(strict_packages())
+        ]
+        assert self.run_tool() == expected
+
+    def test_packages_flag_matches_pyproject(self):
+        assert self.run_tool("--packages") == sorted(strict_packages())

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CI perf guard: the whole-tree repro-lint run must stay fast.
+
+Runs the full default lint sweep (every rule, every default path) in a
+fresh interpreter and fails if the wall time exceeds the budget.  The
+analyzer is a blocking CI gate, so a silent slowdown -- an accidentally
+quadratic graph pass, an eagerly-built graph when no project rule is
+selected -- degrades every future PR.  The budget is deliberately loose
+(the sweep takes a few seconds; the guard allows 30) so only order-of-
+magnitude regressions trip it, not CI-runner jitter.
+
+Usage::
+
+    python tools/lint_perf_guard.py [--budget SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BUDGET_S = 30.0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_S,
+        help="wall-time budget in seconds (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint.cli"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"lint sweep failed (exit {proc.returncode})", file=sys.stderr)
+        return proc.returncode
+    print(f"whole-tree lint wall time: {elapsed:.2f}s (budget {args.budget}s)")
+    if elapsed > args.budget:
+        print(
+            f"PERF REGRESSION: lint took {elapsed:.2f}s > {args.budget}s budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Print the source paths CI must pass to ``mypy --strict``.
+
+The package list lives in ``[tool.repro] mypy_strict_packages`` in
+pyproject.toml -- the single source of truth shared by this script, the
+CI workflow (which runs ``mypy --strict $(python tools/mypy_strict_paths.py)``),
+and ``tests/test_typing_config.py`` (which asserts the list never drifts
+against the ``ignore_errors`` exemption list).
+
+Usage::
+
+    python tools/mypy_strict_paths.py            # space-separated paths
+    python tools/mypy_strict_paths.py --packages # dotted package names
+"""
+
+from __future__ import annotations
+
+import sys
+import tomllib
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def strict_packages(pyproject: Path | None = None) -> List[str]:
+    """The dotted package names held to ``mypy --strict``, sorted."""
+    path = pyproject or REPO_ROOT / "pyproject.toml"
+    with path.open("rb") as fh:
+        data = tomllib.load(fh)
+    packages = data.get("tool", {}).get("repro", {}).get(
+        "mypy_strict_packages", []
+    )
+    if not packages:
+        raise SystemExit(
+            "pyproject.toml defines no [tool.repro] mypy_strict_packages"
+        )
+    return sorted(packages)
+
+
+def strict_paths(pyproject: Path | None = None) -> List[str]:
+    """Repo-relative ``src/...`` paths for the strict packages."""
+    paths = []
+    for package in strict_packages(pyproject):
+        rel = Path("src", *package.split("."))
+        if not (REPO_ROOT / rel).is_dir():
+            raise SystemExit(f"strict package {package!r} has no {rel}/")
+        paths.append(rel.as_posix())
+    return paths
+
+
+def main(argv: List[str]) -> int:
+    if "--packages" in argv:
+        print(" ".join(strict_packages()))
+    else:
+        print(" ".join(strict_paths()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
